@@ -1,0 +1,100 @@
+// Package chordal is the public facade of the reproduction of Ausiello,
+// D'Atri and Moscarini, "Chordality Properties on Graphs and Minimal
+// Conceptual Connections in Semantic Data Models" (PODS 1985 / JCSS 33,
+// 1986).
+//
+// The library decides the paper's bipartite chordality classes and
+// hypergraph acyclicity degrees, and answers minimal-connection (Steiner /
+// pseudo-Steiner) queries with the strongest algorithm each class admits:
+//
+//	b := chordal.NewBipartite()           // build a scheme graph
+//	a := b.AddV1("attribute")             // V1 = attributes
+//	r := b.AddV2("relation")              // V2 = relation schemes
+//	b.AddEdge(a, r)
+//	conn := chordal.NewConnector(b)       // classify once (Theorem 1)
+//	answer, err := conn.Connect([]int{a, r})
+//
+// Subsystem map (all within this module):
+//
+//	internal/graph       graphs, traversal, covers
+//	internal/bipartite   (V1,V2) graphs ⇄ hypergraphs (Definition 2)
+//	internal/hypergraph  dual, primal, GYO, Berge/γ/β/α recognizers
+//	internal/chordality  (4,1)/(6,2)/(6,1)/Vi-chordality recognizers
+//	internal/steiner     Algorithms 1–2, exact and heuristic baselines,
+//	                     the X3C and CSPC hardness gadgets
+//	internal/core        classification + algorithm dispatch + ranking
+//	internal/relational  relations, joins, semijoins, Yannakakis
+//	internal/schema      relational schemes as hypergraphs
+//	internal/ur          universal-relation interface
+//	internal/er          entity–relationship layer (Fig 1)
+//	internal/experiments the E-* reproduction tables (see EXPERIMENTS.md)
+//
+// The type aliases below expose the main entry points under one import for
+// use inside this module (internal packages are not importable from other
+// modules; vendor the tree or lift packages out of internal/ to reuse them
+// elsewhere).
+package chordal
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/steiner"
+)
+
+// Core aliases.
+type (
+	// Graph is an undirected graph (internal/graph).
+	Graph = graph.Graph
+	// Bipartite is a bipartite graph with an explicit (V1, V2) partition.
+	Bipartite = bipartite.Graph
+	// Hypergraph is a hypergraph with duplicate edges allowed.
+	Hypergraph = hypergraph.Hypergraph
+	// Degree is a hypergraph acyclicity degree (Berge/γ/β/α/cyclic).
+	Degree = hypergraph.Degree
+	// Class is a bipartite chordality classification.
+	Class = chordality.Class
+	// Connector dispatches minimal-connection queries by classification.
+	Connector = core.Connector
+	// Connection is an answered query.
+	Connection = core.Connection
+	// Tree is a connection tree (cover node set + spanning tree edges).
+	Tree = steiner.Tree
+)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite() *Bipartite { return bipartite.New() }
+
+// NewHypergraph returns an empty hypergraph.
+func NewHypergraph() *Hypergraph { return hypergraph.New() }
+
+// NewConnector classifies the scheme once and returns a query answerer.
+func NewConnector(b *Bipartite) *Connector { return core.New(b) }
+
+// Classify runs every chordality recognizer on b (Theorem 1 taxonomy).
+func Classify(b *Bipartite) Class { return chordality.Classify(b) }
+
+// FromHypergraph returns the bipartite incidence graph of h.
+func FromHypergraph(h *Hypergraph) *Bipartite { return bipartite.FromHypergraph(h).B }
+
+// Algorithm1 solves pseudo-Steiner w.r.t. V2 on V1-chordal, V1-conformal
+// graphs (Theorem 3).
+func Algorithm1(b *Bipartite, terminals []int) (Tree, error) {
+	return steiner.Algorithm1(b, terminals)
+}
+
+// Algorithm2 solves the Steiner problem on (6,2)-chordal graphs
+// (Theorem 5).
+func Algorithm2(g *Graph, terminals []int) (Tree, error) {
+	return steiner.Algorithm2(g, terminals)
+}
+
+// ExactSteiner is the Dreyfus–Wagner baseline (exponential in terminals).
+func ExactSteiner(g *Graph, terminals []int) (Tree, error) {
+	return steiner.Exact(g, terminals)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fig3cInput = `
+v1 A
+v1 B
+v1 C
+v2 1
+v2 2
+v2 3
+edge A 1
+edge B 1
+edge B 2
+edge C 2
+edge C 3
+edge A 3
+edge C 1   # the single chord
+`
+
+func TestRunBipartite(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(fig3cInput), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"graph: 6 nodes (3 in V1, 3 in V2), 7 arcs",
+		"H1 (nodes=V1, edges=V2 neighbourhoods): beta-acyclic",
+		"gamma-triangle witness",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunHypergraph(t *testing.T) {
+	var out bytes.Buffer
+	in := "edge e1 a b\nedge e2 b c\nedge e3 c a\n"
+	if err := run([]string{"-hypergraph"}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "conformality witness") {
+		t.Errorf("triangle should report a conformality witness:\n%s", out.String())
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("v1 a\nv2 r\nedge a r\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph: 2 nodes") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(fig3cInput), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"h1Degree\": \"beta-acyclic\"") {
+		t.Errorf("json report unexpected:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("bogus"), &out); err == nil {
+		t.Error("bad input accepted")
+	}
+	if err := run([]string{"/nonexistent/file"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

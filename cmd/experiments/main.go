@@ -1,0 +1,55 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (the E-* index of DESIGN.md §4) and prints them as plain
+// text, or as the markdown body of EXPERIMENTS.md with -markdown.
+//
+// Usage:
+//
+//	experiments [-markdown] [-only E-T5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	failed, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+}
+
+// run implements the tool; factored out of main for tests. It returns the
+// number of failed experiments.
+func run(args []string, stdout io.Writer) (failed int, err error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	markdown := fs.Bool("markdown", false, "emit markdown (EXPERIMENTS.md body)")
+	only := fs.String("only", "", "run a single experiment by id")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	for _, e := range experiments.All() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		tb := e.Run()
+		if *markdown {
+			fmt.Fprint(stdout, tb.Markdown())
+		} else {
+			fmt.Fprintln(stdout, tb.String())
+		}
+		if !tb.Pass() {
+			failed++
+		}
+	}
+	return failed, nil
+}

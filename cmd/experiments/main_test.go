@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	failed, err := run([]string{"-only", "E-FIG5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("E-FIG5 failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "E-FIG5") {
+		t.Errorf("output missing table:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	failed, err := run([]string{"-markdown", "-only", "E-FIG5"}, &out)
+	if err != nil || failed != 0 {
+		t.Fatalf("failed=%d err=%v", failed, err)
+	}
+	if !strings.Contains(out.String(), "### E-FIG5") {
+		t.Errorf("markdown heading missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "|---|") {
+		t.Errorf("markdown table missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const demoInput = `
+v1 A
+v1 B
+v1 X
+v2 H
+v2 W1
+v2 W2
+edge A H
+edge B H
+edge A W1
+edge X W1
+edge X W2
+edge B W2
+`
+
+func TestRunConnect(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-terminals", "A,B"}, strings.NewReader(demoInput), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "method:") || !strings.Contains(s, "tree edges:") {
+		t.Errorf("output incomplete:\n%s", s)
+	}
+	// The optimal connection is A-H-B.
+	if !strings.Contains(s, "nodes (3 total, 1 from V2)") {
+		t.Errorf("expected the hub route:\n%s", s)
+	}
+}
+
+func TestRunInterpretations(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-terminals", "A,B", "-interpretations", "3"},
+		strings.NewReader(demoInput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ranked interpretations:") {
+		t.Errorf("interpretations missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2.") {
+		t.Errorf("expected at least two interpretations:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(demoInput), &out); err == nil {
+		t.Error("missing -terminals accepted")
+	}
+	if err := run([]string{"-terminals", "A,GHOST"}, strings.NewReader(demoInput), &out); err == nil {
+		t.Error("unknown terminal accepted")
+	}
+	if err := run([]string{"-terminals", "A"}, strings.NewReader("nonsense"), &out); err == nil {
+		t.Error("bad graph accepted")
+	}
+}

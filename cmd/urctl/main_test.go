@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const companyDB = `
+relation emp name dept
+relation dept dept floor
+relation floorplan floor area
+tuple emp ann toys
+tuple emp bob tools
+tuple dept toys 1
+tuple dept tools 2
+tuple floorplan 1 100
+tuple floorplan 2 250
+`
+
+func TestRunQuery(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-query", "name,area"}, strings.NewReader(companyDB), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "plan: join") || !strings.Contains(s, "ann\t100") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "emp") || !strings.Contains(s, "floorplan") {
+		t.Errorf("plan should span three relations:\n%s", s)
+	}
+}
+
+func TestRunQueryWhere(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-query", "name", "-where", "area=100"},
+		strings.NewReader(companyDB), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "(1 tuples)") || !strings.Contains(s, "ann") {
+		t.Errorf("output:\n%s", s)
+	}
+	if strings.Contains(s, "bob") {
+		t.Errorf("bob should be filtered out:\n%s", s)
+	}
+}
+
+func TestRunInterpretations(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-query", "name,floor", "-interpretations", "2"},
+		strings.NewReader(companyDB), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ranked interpretations:") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(companyDB), &out); err == nil {
+		t.Error("missing -query accepted")
+	}
+	if err := run([]string{"-query", "ghost"}, strings.NewReader(companyDB), &out); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if err := run([]string{"-query", "name", "-where", "nonsense"}, strings.NewReader(companyDB), &out); err == nil {
+		t.Error("malformed condition accepted")
+	}
+	if err := run([]string{"-query", "name"}, strings.NewReader("tuple ghost x"), &out); err == nil {
+		t.Error("tuple for undeclared relation accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+)
+
+// fig2Style builds the running example used across the tests: V1 =
+// {A, B, C}, V2 = {1 = {A,B}, 2 = {B,C}, 3 = {A,C}, 0 = {A,B,C}}. Its H¹ is
+// α-acyclic while its H² is not — the paper's Fig 2 phenomenon.
+func fig2Style() *Graph {
+	b := New()
+	a := b.AddV1("A")
+	bb := b.AddV1("B")
+	c := b.AddV1("C")
+	for _, spec := range []struct {
+		name string
+		nbrs []int
+	}{
+		{"1", []int{a, bb}},
+		{"2", []int{bb, c}},
+		{"3", []int{a, c}},
+		{"0", []int{a, bb, c}},
+	} {
+		w := b.AddV2(spec.name)
+		for _, v := range spec.nbrs {
+			b.AddEdge(v, w)
+		}
+	}
+	return b
+}
+
+func TestSidesAndEdges(t *testing.T) {
+	b := fig2Style()
+	if got := len(b.V1()); got != 3 {
+		t.Errorf("|V1| = %d", got)
+	}
+	if got := len(b.V2()); got != 4 {
+		t.Errorf("|V2| = %d", got)
+	}
+	if b.N() != 7 || b.M() != 9 {
+		t.Errorf("N=%d M=%d", b.N(), b.M())
+	}
+	if b.Side(0) != graph.Side1 || b.Side(3) != graph.Side2 {
+		t.Error("sides wrong")
+	}
+}
+
+func TestAddEdgeSameSidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on same-side edge")
+		}
+	}()
+	b := New()
+	u := b.AddV1("u")
+	v := b.AddV1("v")
+	b.AddEdge(u, v)
+}
+
+func TestSwap(t *testing.T) {
+	b := fig2Style()
+	s := b.Swap()
+	if len(s.V1()) != 4 || len(s.V2()) != 3 {
+		t.Error("Swap did not exchange sides")
+	}
+	if s.G() != b.G() {
+		t.Error("Swap should share the underlying graph")
+	}
+}
+
+func TestHypergraphV1(t *testing.T) {
+	b := fig2Style()
+	c := b.HypergraphV1()
+	if c.H.N() != 3 || c.H.M() != 4 {
+		t.Fatalf("H1: n=%d m=%d", c.H.N(), c.H.M())
+	}
+	if !c.H.AlphaAcyclic() {
+		t.Error("H1 of fig2Style should be alpha-acyclic")
+	}
+	if c.H.BetaAcyclic() {
+		t.Error("H1 of fig2Style should not be beta-acyclic (triangle inside)")
+	}
+	// Edge i corresponds to V2 node EdgeToV2[i] and carries its label.
+	for i, w := range c.EdgeToV2 {
+		if c.H.EdgeName(i) != b.G().Label(w) {
+			t.Errorf("edge %d name %q != V2 label %q", i, c.H.EdgeName(i), b.G().Label(w))
+		}
+		if c.H.Edge(i).Len() != b.G().Degree(w) {
+			t.Errorf("edge %d size mismatch", i)
+		}
+	}
+}
+
+func TestHypergraphV2NotAcyclic(t *testing.T) {
+	b := fig2Style()
+	c := b.HypergraphV2()
+	if c.H.N() != 4 || c.H.M() != 3 {
+		t.Fatalf("H2: n=%d m=%d", c.H.N(), c.H.M())
+	}
+	if c.H.AlphaAcyclic() {
+		t.Error("H2 of fig2Style should NOT be alpha-acyclic (alpha is not self-dual)")
+	}
+}
+
+func TestIsolatedV2Skipped(t *testing.T) {
+	b := New()
+	b.AddV1("a")
+	b.AddV2("lonely")
+	w := b.AddV2("e")
+	b.AddEdge(0, w)
+	c := b.HypergraphV1()
+	if c.H.M() != 1 {
+		t.Errorf("M = %d, want 1 (isolated V2 skipped)", c.H.M())
+	}
+}
+
+func TestFromHypergraphRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		h := hypergraph.New()
+		n := 2 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			h.AddNode(string(rune('a' + i)))
+		}
+		m := 1 + r.Intn(5)
+		for i := 0; i < m; i++ {
+			sz := 1 + r.Intn(n)
+			perm := r.Perm(n)
+			h.AddEdge("", perm[:sz]...)
+		}
+		inc := FromHypergraph(h)
+		// Round trip: H¹ of the incidence graph equals h.
+		back := inc.B.HypergraphV1()
+		if !back.H.Equal(h) {
+			t.Fatalf("round trip failed:\n h = %v\n back = %v", h, back.H)
+		}
+	}
+}
+
+func TestGraphHypergraphGraphRoundTrip(t *testing.T) {
+	b := fig2Style()
+	c := b.HypergraphV1()
+	inc := FromHypergraph(c.H)
+	g2 := inc.B
+	if g2.N() != b.N() || g2.M() != b.M() {
+		t.Fatalf("round trip sizes: N=%d M=%d want N=%d M=%d", g2.N(), g2.M(), b.N(), b.M())
+	}
+	// Same adjacency by label.
+	for _, e := range b.G().Edges() {
+		u := g2.G().MustID(b.G().Label(e.U))
+		v := g2.G().MustID(b.G().Label(e.V))
+		if !g2.G().HasEdge(u, v) {
+			t.Errorf("edge %s-%s lost", b.G().Label(e.U), b.G().Label(e.V))
+		}
+	}
+}
+
+func TestFromGraphValidation(t *testing.T) {
+	g := graph.NewWithNodes("a", "b")
+	g.AddEdge(0, 1)
+	if _, err := FromGraph(g, []graph.Side{graph.Side1, graph.Side1}); err == nil {
+		t.Error("same-side edge accepted")
+	}
+	if _, err := FromGraph(g, []graph.Side{graph.Side1}); err == nil {
+		t.Error("short side slice accepted")
+	}
+	if _, err := FromGraph(g, []graph.Side{graph.Side1, graph.Side2}); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestDetect(t *testing.T) {
+	g := graph.NewWithNodes("a", "b", "c", "d")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	b, err := Detect(g)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if len(b.V1()) != 2 || len(b.V2()) != 2 {
+		t.Errorf("V1=%v V2=%v", b.V1(), b.V2())
+	}
+	odd := graph.NewWithNodes("a", "b", "c")
+	odd.AddEdge(0, 1)
+	odd.AddEdge(1, 2)
+	odd.AddEdge(2, 0)
+	if _, err := Detect(odd); err == nil {
+		t.Error("odd cycle accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := fig2Style()
+	c := b.Clone()
+	c.AddV1("Z")
+	if b.N() != 7 {
+		t.Error("Clone not independent")
+	}
+}

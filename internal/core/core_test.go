@@ -1,0 +1,206 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/reference"
+	"repro/internal/steiner"
+)
+
+func TestDispatchAlgorithm2(t *testing.T) {
+	b := fixtures.Fig3b() // (6,2)-chordal
+	c := core.New(b)
+	if !c.Class().Chordal62 {
+		t.Fatal("Fig3b should classify (6,2)-chordal")
+	}
+	terms := b.G().IDs("A", "C")
+	conn, err := c.Connect(terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Method != core.MethodAlgorithm2 || !conn.Optimal {
+		t.Errorf("dispatch = %v optimal=%v", conn.Method, conn.Optimal)
+	}
+	if got, want := conn.Tree.Nodes.Len(), reference.SteinerMinimumNodes(b.G(), terms); got != want {
+		t.Errorf("size %d, want %d", got, want)
+	}
+}
+
+func TestDispatchAlgorithm1(t *testing.T) {
+	b := fixtures.Fig2() // alpha-acyclic H1 but not (6,2)-chordal
+	c := core.New(b)
+	if c.Class().Chordal62 || !c.Class().AlphaV1() {
+		t.Fatalf("Fig2 classification wrong: %+v", c.Class())
+	}
+	terms := b.G().IDs("A", "B", "C")
+	conn, err := c.Connect(terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Method != core.MethodAlgorithm1 || !conn.V2Optimal {
+		t.Errorf("dispatch = %v v2opt=%v", conn.Method, conn.V2Optimal)
+	}
+	if got, want := steiner.V2Count(b, conn.Tree), reference.MinimumV2Count(b, terms); got != want {
+		t.Errorf("V2 count %d, want %d", got, want)
+	}
+}
+
+func TestDispatchExactAndHeuristic(t *testing.T) {
+	b := gen.GridBipartite(3, 4) // no chordality guarantees
+	c := core.New(b)
+	if c.Class().Chordal62 || c.Class().AlphaV1() {
+		t.Fatalf("grid classification wrong: %+v", c.Class())
+	}
+	terms := []int{0, 11}
+	conn, err := c.Connect(terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Method != core.MethodExact || !conn.Optimal {
+		t.Errorf("dispatch = %v", conn.Method)
+	}
+	// Force the heuristic by lowering the exact limit.
+	c.ExactLimit = 1
+	conn, err = c.Connect(terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Method != core.MethodHeuristic {
+		t.Errorf("dispatch = %v, want heuristic", conn.Method)
+	}
+	if err := conn.Tree.Validate(b.G(), terms); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	b := bipartite.New()
+	a := b.AddV1("a")
+	w := b.AddV2("w")
+	b.AddEdge(a, w)
+	iso := b.AddV1("iso")
+	c := core.New(b)
+	if _, err := c.Connect([]int{a, iso}); err == nil {
+		t.Error("disconnected terminals accepted")
+	}
+}
+
+func TestInterpretationsRankedByAuxiliaries(t *testing.T) {
+	// Two routes between A and B: direct via hub H (0 auxiliaries beyond
+	// H... the hub is auxiliary too) and a long route; the ranking must
+	// list the smaller interpretation first.
+	b := bipartite.New()
+	a := b.AddV1("A")
+	bb := b.AddV1("B")
+	x := b.AddV1("X")
+	h := b.AddV2("H")
+	w1 := b.AddV2("W1")
+	w2 := b.AddV2("W2")
+	for _, arc := range [][2]int{{a, h}, {bb, h}, {a, w1}, {x, w1}, {x, w2}, {bb, w2}} {
+		b.AddEdge(arc[0], arc[1])
+	}
+	c := core.New(b)
+	interps := c.Interpretations([]int{a, bb}, 4, 10)
+	if len(interps) < 2 {
+		t.Fatalf("interpretations = %v", interps)
+	}
+	if interps[0].Auxiliary.Len() != 1 || !interps[0].Nodes.Contains(h) {
+		t.Errorf("first interpretation should be the hub route: %v", interps[0])
+	}
+	if interps[1].Auxiliary.Len() != 3 {
+		t.Errorf("second interpretation should use 3 auxiliaries: %v", interps[1])
+	}
+	for _, in := range interps {
+		if !reference.IsNonredundantCover(b.G(), in.Nodes, []int{a, bb}) {
+			t.Errorf("interpretation %v is not a nonredundant cover", in)
+		}
+	}
+}
+
+func TestInterpretationsAgreeWithOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for iter := 0; iter < 60; iter++ {
+		b := gen.RandomConnectedBipartite(r, 2+r.Intn(3), 2+r.Intn(3), 0.4)
+		g := b.G()
+		terms := []int{0, g.N() - 1}
+		c := core.New(b)
+		interps := c.Interpretations(terms, g.N(), 5)
+		opt := reference.SteinerMinimumNodes(g, terms)
+		if opt == -1 {
+			if len(interps) != 0 {
+				t.Fatalf("interpretations on disconnected terminals: %v", interps)
+			}
+			continue
+		}
+		if len(interps) == 0 {
+			t.Fatalf("no interpretations but optimum %d exists on %v", opt, g)
+		}
+		if got := interps[0].Nodes.Len(); got != opt {
+			t.Fatalf("first interpretation has %d nodes, optimum %d on %v", got, opt, g)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := core.New(fixtures.Fig3b())
+	out := c.Describe()
+	if !strings.Contains(out, "(6,2)-chordal") || !strings.Contains(out, "Theorem 5") {
+		t.Errorf("Describe output unexpected:\n%s", out)
+	}
+	c = core.New(gen.GridBipartite(3, 3))
+	if !strings.Contains(c.Describe(), "no polynomial guarantee") {
+		t.Error("grid Describe should mention missing guarantee")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if core.MethodAlgorithm1.String() != "algorithm-1" || core.Method(9).String() != "Method(9)" {
+		t.Error("Method.String wrong")
+	}
+}
+
+func TestGraphAccessorAndMethodNames(t *testing.T) {
+	b := fixtures.Fig2()
+	c := core.New(b)
+	if c.Graph() != b {
+		t.Error("Graph() should return the classified scheme")
+	}
+	for m, want := range map[core.Method]string{
+		core.MethodAlgorithm2: "algorithm-2",
+		core.MethodExact:      "exact",
+		core.MethodHeuristic:  "heuristic",
+	} {
+		if m.String() != want {
+			t.Errorf("Method %d = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestConnectAlgorithm1ErrorPath(t *testing.T) {
+	// An alpha-acyclic-H1 scheme with disconnected terminals must surface
+	// the error through the Algorithm 1 branch.
+	b := fixtures.Fig2()
+	iso := b.AddV1("ISO")
+	c := core.New(b)
+	if !c.Class().AlphaV1() {
+		t.Skip("classification changed; not the Algorithm 1 branch")
+	}
+	if _, err := c.Connect([]int{0, iso}); err == nil {
+		t.Error("disconnected terminals accepted on Algorithm 1 branch")
+	}
+}
+
+func TestDescribeAlgorithm1Branch(t *testing.T) {
+	// A scheme that is AlphaV1 but not (6,2)-chordal gets the Theorem 3
+	// line in Describe.
+	c := core.New(fixtures.Fig2())
+	if !strings.Contains(c.Describe(), "Theorem 3") {
+		t.Errorf("Describe missing Theorem 3 line:\n%s", c.Describe())
+	}
+}

@@ -1,0 +1,142 @@
+package er
+
+import (
+	"testing"
+)
+
+func TestSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(
+		Object{Name: "x", Kind: KindAttribute},
+		Object{Name: "x", Kind: KindAttribute},
+	); err == nil {
+		t.Error("duplicate object accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "a", Kind: KindAttribute, Components: []string{"a"}},
+	); err == nil {
+		t.Error("attribute with components accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "e", Kind: KindEntity, Components: []string{"ghost"}},
+	); err == nil {
+		t.Error("unknown component accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "e1", Kind: KindEntity},
+		Object{Name: "e2", Kind: KindEntity, Components: []string{"e1"}},
+	); err == nil {
+		t.Error("entity aggregating entity accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "r1", Kind: KindRelationship},
+		Object{Name: "r2", Kind: KindRelationship, Components: []string{"r1"}},
+	); err == nil {
+		t.Error("relationship aggregating relationship accepted")
+	}
+}
+
+func TestFig1MinimalInterpretation(t *testing.T) {
+	s := Fig1Scheme()
+	// Query {EMPLOYEE, DATE}: the minimal interpretation is the direct
+	// birthdate aggregation (no auxiliary object); the next one goes
+	// through WORKS_IN (one auxiliary object).
+	interps, err := s.Interpretations([]string{"EMPLOYEE", "DATE"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interps) < 2 {
+		t.Fatalf("interpretations = %v", interps)
+	}
+	if len(interps[0].Auxiliary) != 0 {
+		t.Errorf("first interpretation should need no auxiliary objects: %v", interps[0])
+	}
+	if len(interps[1].Auxiliary) != 1 || interps[1].Auxiliary[0] != "WORKS_IN" {
+		t.Errorf("second interpretation should use WORKS_IN: %v", interps[1])
+	}
+}
+
+func TestFig1MinimalConnection(t *testing.T) {
+	s := Fig1Scheme()
+	conn, err := s.MinimalConnection([]string{"NAME", "BUDGET"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAME–EMPLOYEE–WORKS_IN–DEPARTMENT–BUDGET: 3 auxiliaries.
+	if len(conn.Auxiliary) != 3 {
+		t.Errorf("connection = %v", conn)
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	if _, err := Fig1Scheme().Interpretations([]string{"GHOST"}, 1); err == nil {
+		t.Error("unknown object accepted")
+	}
+}
+
+func TestDisconnectedQuery(t *testing.T) {
+	s := MustScheme(
+		Object{Name: "a", Kind: KindAttribute},
+		Object{Name: "b", Kind: KindAttribute},
+	)
+	if _, err := s.MinimalConnection([]string{"a", "b"}); err == nil {
+		t.Error("disconnected objects should not connect")
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	s := Fig1Scheme()
+	g := s.Graph()
+	if g.N() != 7 {
+		t.Fatalf("N = %d", g.N())
+	}
+	emp := g.MustID("EMPLOYEE")
+	date := g.MustID("DATE")
+	if !g.HasEdge(emp, date) {
+		t.Error("EMPLOYEE-DATE aggregation edge missing")
+	}
+	// Fig 1's graph is 3-partite but not bipartite by level (WORKS_IN
+	// touches DATE directly, forming an odd cycle).
+	if s.StrictlyLayered() {
+		t.Error("Fig1 scheme should not be strictly layered")
+	}
+	if _, err := s.Bipartite(); err == nil {
+		t.Error("non-layered scheme produced a bipartite view")
+	}
+}
+
+func TestStrictlyLayeredBipartite(t *testing.T) {
+	s := MustScheme(
+		Object{Name: "ssn", Kind: KindAttribute},
+		Object{Name: "dname", Kind: KindAttribute},
+		Object{Name: "person", Kind: KindEntity, Components: []string{"ssn"}},
+		Object{Name: "dep", Kind: KindEntity, Components: []string{"dname"}},
+		Object{Name: "member", Kind: KindRelationship, Components: []string{"person", "dep"}},
+	)
+	if !s.StrictlyLayered() {
+		t.Fatal("scheme should be strictly layered")
+	}
+	b, err := s.Bipartite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.V2()); got != 2 { // the two entities
+		t.Errorf("V2 = %d", got)
+	}
+}
+
+func TestObjectLookupAndKinds(t *testing.T) {
+	s := Fig1Scheme()
+	o, ok := s.Object("WORKS_IN")
+	if !ok || o.Kind != KindRelationship {
+		t.Errorf("Object lookup: %+v %v", o, ok)
+	}
+	if _, ok := s.Object("GHOST"); ok {
+		t.Error("ghost object found")
+	}
+	if KindAttribute.String() != "attribute" || Kind(9).String() != "Kind(9)" {
+		t.Error("Kind.String wrong")
+	}
+	if len(s.Objects()) != 7 {
+		t.Error("Objects() wrong length")
+	}
+}

@@ -1,0 +1,61 @@
+package er
+
+import "fmt"
+
+// Generalization support — the second abstraction primitive the paper's
+// introduction names ("aggregation, generalization, and classification").
+// An entity may declare a supertype; the object graph gains an ISA edge,
+// so minimal connections can travel through the generalization hierarchy
+// (a query naming MANAGER and an attribute of EMPLOYEE connects via the
+// ISA edge, with EMPLOYEE as the only auxiliary concept).
+
+// WithISA returns a copy of o declaring the supertype. Only entities may
+// generalize, which NewScheme validates.
+func (o Object) WithISA(supertype string) Object {
+	o.ISA = supertype
+	return o
+}
+
+// validateISA is called by NewScheme.
+func (s *Scheme) validateISA() error {
+	for _, o := range s.objects {
+		if o.ISA == "" {
+			continue
+		}
+		if o.Kind != KindEntity {
+			return fmt.Errorf("er: %s %q declares ISA; only entities generalize", o.Kind, o.Name)
+		}
+		j, ok := s.index[o.ISA]
+		if !ok {
+			return fmt.Errorf("er: entity %q ISA unknown object %q", o.Name, o.ISA)
+		}
+		if s.objects[j].Kind != KindEntity {
+			return fmt.Errorf("er: entity %q ISA non-entity %q", o.Name, o.ISA)
+		}
+	}
+	// Reject ISA cycles by walking up from every entity.
+	for _, o := range s.objects {
+		seen := map[string]bool{}
+		for cur := o; cur.ISA != ""; {
+			if seen[cur.ISA] {
+				return fmt.Errorf("er: ISA cycle through %q", cur.ISA)
+			}
+			seen[cur.ISA] = true
+			cur = s.objects[s.index[cur.ISA]]
+		}
+	}
+	return nil
+}
+
+// Supertypes returns the ISA chain of the named entity, nearest first.
+func (s *Scheme) Supertypes(name string) []string {
+	var out []string
+	i, ok := s.index[name]
+	if !ok {
+		return nil
+	}
+	for cur := s.objects[i]; cur.ISA != ""; cur = s.objects[s.index[cur.ISA]] {
+		out = append(out, cur.ISA)
+	}
+	return out
+}

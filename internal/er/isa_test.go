@@ -1,0 +1,83 @@
+package er
+
+import "testing"
+
+// managerScheme extends Fig 1 with a MANAGER entity generalizing EMPLOYEE.
+func managerScheme() *Scheme {
+	return MustScheme(
+		Object{Name: "NAME", Kind: KindAttribute},
+		Object{Name: "DATE", Kind: KindAttribute},
+		Object{Name: "BONUS", Kind: KindAttribute},
+		Object{Name: "EMPLOYEE", Kind: KindEntity, Components: []string{"NAME", "DATE"}},
+		Object{Name: "MANAGER", Kind: KindEntity, Components: []string{"BONUS"}}.WithISA("EMPLOYEE"),
+	)
+}
+
+func TestISAValidation(t *testing.T) {
+	if _, err := NewScheme(
+		Object{Name: "a", Kind: KindAttribute}.WithISA("a"),
+	); err == nil {
+		t.Error("attribute with ISA accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "e", Kind: KindEntity}.WithISA("ghost"),
+	); err == nil {
+		t.Error("ISA to unknown object accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "a", Kind: KindAttribute},
+		Object{Name: "e", Kind: KindEntity}.WithISA("a"),
+	); err == nil {
+		t.Error("ISA to non-entity accepted")
+	}
+	if _, err := NewScheme(
+		Object{Name: "e1", Kind: KindEntity}.WithISA("e2"),
+		Object{Name: "e2", Kind: KindEntity}.WithISA("e1"),
+	); err == nil {
+		t.Error("ISA cycle accepted")
+	}
+}
+
+func TestISAEdgeInGraph(t *testing.T) {
+	s := managerScheme()
+	g := s.Graph()
+	if !g.HasEdge(g.MustID("MANAGER"), g.MustID("EMPLOYEE")) {
+		t.Error("ISA edge missing from object graph")
+	}
+}
+
+func TestISAConnectionThroughHierarchy(t *testing.T) {
+	s := managerScheme()
+	// MANAGER inherits NAME via EMPLOYEE: the minimal connection uses the
+	// ISA edge with EMPLOYEE as the only auxiliary object.
+	conn, err := s.MinimalConnection([]string{"MANAGER", "NAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Auxiliary) != 1 || conn.Auxiliary[0] != "EMPLOYEE" {
+		t.Errorf("connection = %+v", conn)
+	}
+}
+
+func TestSupertypes(t *testing.T) {
+	s := managerScheme()
+	got := s.Supertypes("MANAGER")
+	if len(got) != 1 || got[0] != "EMPLOYEE" {
+		t.Errorf("Supertypes = %v", got)
+	}
+	if s.Supertypes("EMPLOYEE") != nil {
+		t.Error("EMPLOYEE should have no supertypes")
+	}
+	if s.Supertypes("GHOST") != nil {
+		t.Error("unknown object should have no supertypes")
+	}
+	// Deep chain.
+	deep := MustScheme(
+		Object{Name: "A", Kind: KindEntity},
+		Object{Name: "B", Kind: KindEntity}.WithISA("A"),
+		Object{Name: "C", Kind: KindEntity}.WithISA("B"),
+	)
+	if got := deep.Supertypes("C"); len(got) != 2 || got[0] != "B" || got[1] != "A" {
+		t.Errorf("deep Supertypes = %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package experiments reproduces, as printable tables, every figure-level
+// and theorem-level claim of the paper (the per-experiment index lives in
+// DESIGN.md §4). Each experiment is a function returning a Table;
+// cmd/experiments renders them all, and EXPERIMENTS.md records a captured
+// run. Tests in this package assert the PASS/FAIL verdicts, so the
+// experiment suite is itself part of the test suite.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Pass reports whether every row marked with a verdict column says "PASS".
+// Rows without a verdict column count as pass.
+func (t Table) Pass() bool {
+	col := -1
+	for i, h := range t.Header {
+		if strings.EqualFold(h, "verdict") {
+			col = i
+		}
+	}
+	if col == -1 {
+		return true
+	}
+	for _, r := range t.Rows {
+		if col < len(r) && r[col] != "PASS" {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Experiment couples an id with its generator.
+type Experiment struct {
+	ID  string
+	Run func() Table
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E-FIG1", EFig1},
+		{"E-FIG2", EFig2},
+		{"E-FIG34", EFig34},
+		{"E-FIG5", EFig5},
+		{"E-FIG6", EFig6},
+		{"E-FIG8", EFig8},
+		{"E-FIG9", EFig9},
+		{"E-FIG10", EFig10},
+		{"E-FIG11", EFig11},
+		{"E-T1", ETheorem1},
+		{"E-C1", ECorollary1},
+		{"E-C2", ECorollary2},
+		{"E-T2", ETheorem2},
+		{"E-T3", ETheorem3},
+		{"E-T4", ETheorem4},
+		{"E-T5", ETheorem5},
+		{"E-SCALE", EScaling},
+		{"E-C5", ECorollary5},
+		{"E-UR", EUniversalRelation},
+		{"E-CONS", EConsistency},
+		{"E-ABL1", EAblationOrdering},
+		{"E-ABL2", EAblationCoverSemantics},
+		{"E-OPEN", EOpenProblem},
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func itoa(x int) string { return fmt.Sprintf("%d", x) }

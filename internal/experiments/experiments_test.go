@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run()
+			if tb.ID != e.ID {
+				t.Errorf("table id %q != experiment id %q", tb.ID, e.ID)
+			}
+			if !tb.Pass() {
+				t.Errorf("experiment failed:\n%s", tb.String())
+			}
+			if len(tb.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+			for _, r := range tb.Rows {
+				if len(r) != len(tb.Header) {
+					t.Errorf("row %v does not match header %v", r, tb.Header)
+				}
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "verdict"},
+		Rows:   [][]string{{"1", "PASS"}},
+		Notes:  []string{"a note"},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "note: a note") {
+		t.Errorf("String = %q", s)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | verdict |") {
+		t.Errorf("Markdown = %q", md)
+	}
+	if !tb.Pass() {
+		t.Error("Pass should be true")
+	}
+	tb.Rows = append(tb.Rows, []string{"2", "FAIL"})
+	if tb.Pass() {
+		t.Error("Pass should be false with a FAIL row")
+	}
+	tb.Header = []string{"a", "b"}
+	if !tb.Pass() {
+		t.Error("tables without verdict column always pass")
+	}
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+	"repro/internal/er"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/intset"
+	"repro/internal/reference"
+	"repro/internal/steiner"
+)
+
+// EFig1 reproduces Fig 1: the EMPLOYEE/DATE query over the
+// entity–relationship scheme, whose minimal interpretation is the
+// birthdate aggregation and whose second interpretation goes through
+// WORKS_IN.
+func EFig1() Table {
+	s := er.Fig1Scheme()
+	interps, err := s.Interpretations([]string{"EMPLOYEE", "DATE"}, 3)
+	t := Table{
+		ID:     "E-FIG1",
+		Title:  "Fig 1: ranked interpretations of the query {EMPLOYEE, DATE}",
+		Header: []string{"rank", "objects", "auxiliary", "verdict"},
+	}
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"-", err.Error(), "-", "FAIL"})
+		return t
+	}
+	for i, in := range interps {
+		want := true
+		switch i {
+		case 0:
+			want = len(in.Auxiliary) == 0
+		case 1:
+			want = len(in.Auxiliary) == 1 && in.Auxiliary[0] == "WORKS_IN"
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(i + 1),
+			strings.Join(in.Objects, " "),
+			strings.Join(in.Auxiliary, " "),
+			verdict(want),
+		})
+	}
+	t.Notes = append(t.Notes,
+		`interpretation 1 = "employees with their birthdate" (no auxiliary object); interpretation 2 = "the date from which they work in a department" (WORKS_IN auxiliary), matching the paper's reading order`)
+	return t
+}
+
+// EFig2 reproduces Fig 2: H¹G α-acyclic, H²G not — α-acyclicity is not
+// self-dual.
+func EFig2() Table {
+	b := fixtures.Fig2()
+	h1 := b.HypergraphV1().H
+	h2 := b.HypergraphV2().H
+	cl := chordality.Classify(b)
+	return Table{
+		ID:     "E-FIG2",
+		Title:  "Fig 2: the two hypergraphs of one bipartite graph",
+		Header: []string{"object", "property", "value", "verdict"},
+		Rows: [][]string{
+			{"G", "V1-chordal ∧ V1-conformal", fmt.Sprint(cl.AlphaV1()), verdict(cl.AlphaV1())},
+			{"H1(G)", "alpha-acyclic", fmt.Sprint(h1.AlphaAcyclic()), verdict(h1.AlphaAcyclic())},
+			{"H2(G)", "alpha-acyclic", fmt.Sprint(h2.AlphaAcyclic()), verdict(!h2.AlphaAcyclic())},
+			{"G", "(6,1)-chordal", fmt.Sprint(cl.Chordal61), verdict(!cl.Chordal61)},
+		},
+		Notes: []string{"H2 fails α-acyclicity although H1 satisfies it: the duality property does not hold for α (remark after Corollary 1)"},
+	}
+}
+
+// EFig34 reproduces Figs 3a–c / 4a–c: the chordality ladder and its
+// hypergraph images under Theorem 1.
+func EFig34() Table {
+	t := Table{
+		ID:     "E-FIG34",
+		Title:  "Figs 3/4: chordality of the example graphs vs acyclicity of their hypergraphs",
+		Header: []string{"figure", "(4,1)", "(6,2)", "(6,1)", "H1 degree", "verdict"},
+	}
+	cases := []struct {
+		name           string
+		b              *bipartite.Graph
+		w41, w62, w61  bool
+		wantDegreeName string
+	}{
+		{"3a/4a", fixtures.Fig3a(), true, true, true, "Berge-acyclic"},
+		{"3b/4b", fixtures.Fig3b(), false, true, true, "gamma-acyclic"},
+		{"3c/4c", fixtures.Fig3c(), false, false, true, "beta-acyclic"},
+	}
+	for _, c := range cases {
+		cl := chordality.Classify(c.b)
+		deg := c.b.HypergraphV1().H.Classify().String()
+		ok := cl.Chordal41 == c.w41 && cl.Chordal62 == c.w62 && cl.Chordal61 == c.w61 && deg == c.wantDegreeName
+		t.Rows = append(t.Rows, []string{
+			c.name, fmt.Sprint(cl.Chordal41), fmt.Sprint(cl.Chordal62), fmt.Sprint(cl.Chordal61), deg, verdict(ok),
+		})
+	}
+	return t
+}
+
+// EFig5 reproduces Fig 5: Vi-chordal ∧ Vi-conformal for both sides but not
+// (6,1)-chordal — the containment of Corollary 2 is proper.
+func EFig5() Table {
+	cl := chordality.Classify(fixtures.Fig5())
+	return Table{
+		ID:     "E-FIG5",
+		Title:  "Fig 5: proper containment witness for Corollary 2",
+		Header: []string{"property", "value", "verdict"},
+		Rows: [][]string{
+			{"V1-chordal ∧ V1-conformal", fmt.Sprint(cl.AlphaV1()), verdict(cl.AlphaV1())},
+			{"V2-chordal ∧ V2-conformal", fmt.Sprint(cl.AlphaV2()), verdict(cl.AlphaV2())},
+			{"(6,1)-chordal", fmt.Sprint(cl.Chordal61), verdict(!cl.Chordal61)},
+		},
+	}
+}
+
+// EFig6 reproduces Fig 6 / Theorem 2: the X3C gadget on the paper's
+// instance. The instance is solvable, so the Steiner optimum hits the 4q+1
+// budget exactly.
+func EFig6() Table {
+	inst := fixtures.Fig6Instance()
+	red, err := steiner.ReduceX3C(inst)
+	t := Table{
+		ID:     "E-FIG6",
+		Title:  "Fig 6: X3C reduction on the paper's instance (q=2)",
+		Header: []string{"quantity", "value", "verdict"},
+	}
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"reduction", err.Error(), "FAIL"})
+		return t
+	}
+	opt := reference.SteinerMinimumNodes(red.B.G(), red.Terminals)
+	v1ok := chordality.IsV1Chordal(red.B) && chordality.IsV1Conformal(red.B)
+	// Corollary 3: minimizing the V1 side alone is equally hard; on this
+	// gadget the minimum V1 count is exactly q iff the instance solves.
+	minV1 := reference.MinimumV2Count(red.B.Swap(), red.Terminals)
+	t.Rows = [][]string{
+		{"X3C solvable", fmt.Sprint(inst.Solve()), verdict(inst.Solve())},
+		{"gadget V1-chordal ∧ V1-conformal", fmt.Sprint(v1ok), verdict(v1ok)},
+		{"Steiner optimum", itoa(opt), verdict(opt == red.Budget)},
+		{"budget 4q+1", itoa(red.Budget), verdict(true)},
+		{"min V1 nodes (Corollary 3)", itoa(minV1), verdict(minV1 == 2)},
+	}
+	t.Notes = append(t.Notes, "optimum = budget exactly: 3q+1 terminals plus the q triple-nodes of an exact cover; the V1 minimum equals q = 2 (Corollary 3's measure)")
+	return t
+}
+
+// EFig8 reproduces Fig 8: the four cover concepts of Definition 10 are
+// distinct on one graph.
+func EFig8() Table {
+	b := fixtures.Fig8()
+	g := b.G()
+	terms := g.IDs("A", "C", "D")
+	nonred := intset.FromSlice(g.IDs("A", "B", "C", "D", "1", "3"))
+	minimum := intset.FromSlice(g.IDs("A", "C", "D", "2", "3"))
+	rows := [][]string{
+		{"{A,B,C,D,1,3}", "nonredundant cover", verdict(reference.IsNonredundantCover(g, nonred, terms))},
+		{"{A,B,C,D,1,3}", "NOT minimum", verdict(!reference.IsMinimumCover(g, nonred, terms))},
+		{"{A,C,D,2,3}", "minimum cover", verdict(reference.IsMinimumCover(g, minimum, terms))},
+		{"{A,C,D,2,3}", "nonredundant cover", verdict(reference.IsNonredundantCover(g, minimum, terms))},
+	}
+	return Table{
+		ID:     "E-FIG8",
+		Title:  "Fig 8: nonredundant vs minimum covers of P = {A, C, D}",
+		Header: []string{"node set", "claim", "verdict"},
+		Rows:   rows,
+	}
+}
+
+// EFig9 reproduces Fig 9: the CSPC reduction — subdividing a chordal graph
+// yields a V1-chordal (not V1-conformal) gadget on which pseudo-Steiner
+// w.r.t. V2 equals the original arc-minimum connection problem.
+func EFig9() Table {
+	r := rand.New(rand.NewSource(9))
+	t := Table{
+		ID:     "E-FIG9",
+		Title:  "Fig 9: CSPC reduction equivalence on random chordal graphs",
+		Header: []string{"instance", "|V|", "|A|", "min arcs (direct)", "min V2 (gadget)", "V1-chordal", "verdict"},
+	}
+	for i := 0; i < 6; i++ {
+		g := gen.RandomChordalGraph(r, 4+r.Intn(4), 2)
+		if !g.IsConnected() {
+			continue
+		}
+		red := steiner.ReduceCSPC(g)
+		terms := []int{0, g.N() - 1}
+		gadgetTerms := []int{red.NodeVs[0], red.NodeVs[g.N()-1]}
+		direct := reference.SteinerMinimumNodes(g, terms) - 1
+		viaGadget := reference.MinimumV2Count(red.B, gadgetTerms)
+		v1c := chordality.IsV1Chordal(red.B)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("chordal-%d", i), itoa(g.N()), itoa(g.M()),
+			itoa(direct), itoa(viaGadget), fmt.Sprint(v1c),
+			verdict(direct == viaGadget && v1c),
+		})
+	}
+	return t
+}
+
+// EFig10 reproduces Fig 10 / Lemma 4: the nonredundant-but-not-minimum
+// path in a single-chord 6-cycle.
+func EFig10() Table {
+	b := fixtures.Fig10()
+	g := b.G()
+	long := g.IDs("B", "2", "C", "3", "A")
+	terms := []int{g.MustID("B"), g.MustID("A")}
+	nonred := reference.IsNonredundantCover(g, intset.FromSlice(long), terms)
+	notMin := !reference.IsMinimumCover(g, intset.FromSlice(long), terms)
+	is62 := chordality.Is62Chordal(b)
+	return Table{
+		ID:     "E-FIG10",
+		Title:  "Fig 10: Lemma 4 on the single-chord 6-cycle",
+		Header: []string{"claim", "value", "verdict"},
+		Rows: [][]string{
+			{"distance(A, B)", itoa(g.Distance(terms[0], terms[1])), verdict(g.Distance(terms[0], terms[1]) == 2)},
+			{"path B-2-C-3-A nonredundant", fmt.Sprint(nonred), verdict(nonred)},
+			{"path B-2-C-3-A not minimum", fmt.Sprint(notMin), verdict(notMin)},
+			{"graph (6,2)-chordal", fmt.Sprint(is62), verdict(!is62)},
+		},
+		Notes: []string{"a nonredundant non-minimum path exists exactly because the graph is not (6,2)-chordal (Lemma 4)"},
+	}
+}
+
+// EFig11 reproduces Theorem 6 / Fig 11: a (6,1)-chordal graph with no good
+// ordering — each of the four leading-node cases has a witness terminal
+// set on which elimination misses the optimum.
+func EFig11() Table {
+	b := fixtures.Fig11()
+	g := b.G()
+	t := Table{
+		ID:     "E-FIG11",
+		Title:  "Fig 11 / Theorem 6: every ordering case fails on its witness set",
+		Header: []string{"case", "terminals", "optimum", "elimination result", "verdict"},
+	}
+	if !chordality.Is61Chordal(b) {
+		t.Rows = append(t.Rows, []string{"precondition", "(6,1)-chordal", "-", "-", "FAIL"})
+		return t
+	}
+	for _, tc := range fixtures.Fig11Cases() {
+		lead := g.MustID(tc.Lead)
+		terms := g.IDs(tc.Terminals...)
+		opt := reference.SteinerMinimumNodes(g, terms)
+		worst := opt
+		// Try several orderings with the case's lead node first; all must
+		// miss the optimum.
+		allMiss := true
+		for trial := 0; trial < 6; trial++ {
+			r := rand.New(rand.NewSource(int64(trial)))
+			order := []int{lead}
+			for _, v := range r.Perm(g.N()) {
+				if v != lead {
+					order = append(order, v)
+				}
+			}
+			tree, err := steiner.EliminateOrdered(g, terms, order)
+			if err != nil {
+				allMiss = false
+				break
+			}
+			if tree.Nodes.Len() <= opt {
+				allMiss = false
+			}
+			if tree.Nodes.Len() > worst {
+				worst = tree.Nodes.Len()
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			tc.Lead + " first",
+			strings.Join(tc.Terminals, ","),
+			itoa(opt), itoa(worst),
+			verdict(allMiss),
+		})
+	}
+	t.Notes = append(t.Notes, "every node ordering starts with one of A, B, 1, 2 among that quadruple, so no ordering is good (Theorem 6)")
+	return t
+}

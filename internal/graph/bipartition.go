@@ -1,0 +1,49 @@
+package graph
+
+// Side identifies the side of a bipartition a node belongs to.
+type Side int8
+
+// Bipartition sides. SideNone marks nodes of graphs that are not bipartite
+// or isolated nodes whose side is forced to Side1 for determinism.
+const (
+	Side1 Side = 1
+	Side2 Side = 2
+)
+
+// Bipartition 2-colours the graph. It returns the side of each node and
+// whether the graph is bipartite. Isolated nodes and the first node of each
+// component are put on Side1, so the colouring is deterministic.
+func (g *Graph) Bipartition() (side []Side, ok bool) {
+	side = make([]Side, g.N())
+	for s := 0; s < g.N(); s++ {
+		if side[s] != 0 {
+			continue
+		}
+		side[s] = Side1
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			next := Side1
+			if side[v] == Side1 {
+				next = Side2
+			}
+			for _, w := range g.adj[v] {
+				switch side[w] {
+				case 0:
+					side[w] = next
+					queue = append(queue, w)
+				case side[v]:
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// IsBipartite reports whether g is 2-colourable.
+func (g *Graph) IsBipartite() bool {
+	_, ok := g.Bipartition()
+	return ok
+}

@@ -1,0 +1,264 @@
+// Package graph implements the undirected-graph substrate used throughout
+// the library.
+//
+// A Graph is a finite undirected simple graph (Definition 1 of the paper
+// restricted to 2-node edges) over dense integer node ids, each carrying a
+// string label. All derived structures of the paper — bipartite graphs,
+// hypergraph incidence graphs, primal (Gaifman) graphs, Steiner covers —
+// are built on this type.
+//
+// Node ids are assigned consecutively from 0 by AddNode, so ids can index
+// plain slices; labels give stable human-readable names for fixtures and
+// CLI output.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/intset"
+)
+
+// Graph is an undirected simple graph. The zero value is not usable; create
+// graphs with New.
+type Graph struct {
+	labels []string
+	index  map[string]int
+	adj    []intset.Set
+	m      int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// NewWithNodes returns a graph containing the given nodes and no edges.
+// Labels must be distinct.
+func NewWithNodes(labels ...string) *Graph {
+	g := New()
+	for _, l := range labels {
+		g.AddNode(l)
+	}
+	return g
+}
+
+// AddNode adds a node with the given label and returns its id.
+// It panics if the label is already present: fixtures and generators are
+// expected to produce distinct names, and a silent merge would corrupt the
+// graph being described.
+func (g *Graph) AddNode(label string) int {
+	if _, dup := g.index[label]; dup {
+		panic(fmt.Sprintf("graph: duplicate node label %q", label))
+	}
+	id := len(g.labels)
+	g.labels = append(g.labels, label)
+	g.index[label] = id
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// EnsureNode returns the id of the node with the given label, adding it
+// first if absent.
+func (g *Graph) EnsureNode(label string) int {
+	if id, ok := g.index[label]; ok {
+		return id
+	}
+	return g.AddNode(label)
+}
+
+// AddEdge adds the undirected edge {u, v}. Adding an existing edge is a
+// no-op. It panics on self-loops or out-of-range ids (programmer error).
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on node %d (%s)", u, g.labels[u]))
+	}
+	if g.adj[u].Contains(v) {
+		return
+	}
+	g.adj[u] = g.adj[u].Add(v)
+	g.adj[v] = g.adj[v].Add(u)
+	g.m++
+}
+
+// AddEdgeLabels adds the edge between the nodes with the given labels,
+// creating the nodes if needed.
+func (g *Graph) AddEdgeLabels(a, b string) {
+	g.AddEdge(g.EnsureNode(a), g.EnsureNode(b))
+}
+
+// RemoveEdge removes the edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if !g.adj[u].Contains(v) {
+		return
+	}
+	g.adj[u] = g.adj[u].Remove(v)
+	g.adj[v] = g.adj[v].Remove(u)
+	g.m--
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= len(g.labels) {
+		panic(fmt.Sprintf("graph: node id %d out of range [0, %d)", v, len(g.labels)))
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.labels) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u].Contains(v)
+}
+
+// Label returns the label of node v.
+func (g *Graph) Label(v int) string {
+	g.check(v)
+	return g.labels[v]
+}
+
+// Labels maps a slice of node ids to their labels.
+func (g *Graph) Labels(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = g.Label(v)
+	}
+	return out
+}
+
+// ID returns the id of the node with the given label.
+func (g *Graph) ID(label string) (int, bool) {
+	id, ok := g.index[label]
+	return id, ok
+}
+
+// MustID returns the id of the node with the given label, panicking if the
+// label is unknown. Intended for fixtures, whose labels are static.
+func (g *Graph) MustID(label string) int {
+	id, ok := g.index[label]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node label %q", label))
+	}
+	return id
+}
+
+// IDs maps labels to node ids, panicking on unknown labels.
+func (g *Graph) IDs(labels ...string) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = g.MustID(l)
+	}
+	return out
+}
+
+// Nodes returns all node ids in increasing order.
+func (g *Graph) Nodes() []int {
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Neighbors returns the neighbour set of v. The returned set is shared with
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) intset.Set {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Adj returns the set of nodes adjacent to at least one node of ws
+// (the Adj(W) of Definition 1). Nodes of ws may appear in the result when
+// they are adjacent to other nodes of ws.
+func (g *Graph) Adj(ws []int) intset.Set {
+	var out intset.Set
+	for _, w := range ws {
+		out = out.Union(g.Neighbors(w))
+	}
+	return out
+}
+
+// Edge is an undirected edge; U < V always holds for edges returned by
+// Edges.
+type Edge struct {
+	U, V int
+}
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		index:  make(map[string]int, len(g.index)),
+		adj:    make([]intset.Set, len(g.adj)),
+		m:      g.m,
+	}
+	for l, id := range g.index {
+		c.index[l] = id
+	}
+	for v, s := range g.adj {
+		c.adj[v] = s.Clone()
+	}
+	return c
+}
+
+// Induced returns the subgraph induced by keep, together with the mapping
+// from old ids to new ids. Nodes keep their labels.
+func (g *Graph) Induced(keep []int) (*Graph, map[int]int) {
+	ks := intset.FromSlice(keep)
+	sub := New()
+	old2new := make(map[int]int, ks.Len())
+	for _, v := range ks {
+		old2new[v] = sub.AddNode(g.Label(v))
+	}
+	for _, v := range ks {
+		for _, w := range g.adj[v] {
+			if v < w && ks.Contains(w) {
+				sub.AddEdge(old2new[v], old2new[w])
+			}
+		}
+	}
+	return sub, old2new
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph{n=%d m=%d", g.N(), g.M())
+	for _, e := range g.Edges() {
+		s += fmt.Sprintf(" %s-%s", g.labels[e.U], g.labels[e.V])
+	}
+	return s + "}"
+}

@@ -1,0 +1,71 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/relational"
+	"repro/internal/schema"
+)
+
+// ReadDatabase parses a combined schema + instance file:
+//
+//	relation emp name dept      # scheme declaration
+//	tuple emp ann toys          # a tuple of a declared relation
+//
+// Relations without tuples get empty instances. Returns the schema and one
+// instance per relation, in declaration order.
+func ReadDatabase(r io.Reader) (*schema.Schema, []*relational.Relation, error) {
+	ds, err := directives(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rels []schema.RelScheme
+	instances := map[string]*relational.Relation{}
+	var order []string
+	// First pass: schemes.
+	for _, d := range ds {
+		line, cmd, args := d[0], d[1], d[2:]
+		switch cmd {
+		case "relation":
+			if len(args) < 2 {
+				return nil, nil, fmt.Errorf("graphio: line %s: relation wants a name and attributes", line)
+			}
+			rels = append(rels, schema.RelScheme{Name: args[0], Attrs: args[1:]})
+			instances[args[0]] = relational.NewRelation(args[0], args[1:]...)
+			order = append(order, args[0])
+		case "tuple":
+			// handled in the second pass
+		default:
+			return nil, nil, fmt.Errorf("graphio: line %s: unknown directive %q", line, cmd)
+		}
+	}
+	s, err := schema.New(rels...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Second pass: tuples.
+	for _, d := range ds {
+		line, cmd, args := d[0], d[1], d[2:]
+		if cmd != "tuple" {
+			continue
+		}
+		if len(args) < 1 {
+			return nil, nil, fmt.Errorf("graphio: line %s: tuple wants a relation name", line)
+		}
+		inst, ok := instances[args[0]]
+		if !ok {
+			return nil, nil, fmt.Errorf("graphio: line %s: tuple for undeclared relation %q", line, args[0])
+		}
+		if len(args)-1 != len(inst.Attrs) {
+			return nil, nil, fmt.Errorf("graphio: line %s: relation %q wants %d values, got %d",
+				line, args[0], len(inst.Attrs), len(args)-1)
+		}
+		inst.Insert(args[1:]...)
+	}
+	out := make([]*relational.Relation, len(order))
+	for i, name := range order {
+		out[i] = instances[name]
+	}
+	return s, out, nil
+}

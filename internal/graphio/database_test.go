@@ -1,0 +1,54 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadDatabase(t *testing.T) {
+	in := `
+relation emp name dept
+relation dept dept floor
+tuple emp ann toys
+tuple dept toys 1
+tuple emp bob tools
+`
+	s, rels, err := ReadDatabase(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations) != 2 || len(rels) != 2 {
+		t.Fatalf("schema %v instances %v", s, rels)
+	}
+	if rels[0].Name != "emp" || rels[0].Len() != 2 {
+		t.Errorf("emp instance = %v", rels[0])
+	}
+	if rels[1].Len() != 1 {
+		t.Errorf("dept instance = %v", rels[1])
+	}
+}
+
+func TestReadDatabaseEmptyInstance(t *testing.T) {
+	s, rels, err := ReadDatabase(strings.NewReader("relation r a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations) != 1 || rels[0].Len() != 0 {
+		t.Error("empty instance expected")
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	cases := []string{
+		"relation r",
+		"tuple r x",
+		"relation r a\ntuple r x y",
+		"relation r a\nbogus",
+		"relation r a\nrelation r b",
+	}
+	for _, in := range cases {
+		if _, _, err := ReadDatabase(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package graphio parses and serializes the textual formats the command
+// line tools consume: bipartite graphs, hypergraphs and relational
+// schemas.
+//
+// Bipartite graph format (one directive per line, '#' starts a comment):
+//
+//	v1 A            # declare a V1 node
+//	v2 r            # declare a V2 node
+//	edge A r        # arc between declared nodes
+//
+// Hypergraph format:
+//
+//	node A          # optional explicit node declaration
+//	edge e1 A B C   # edge name followed by its member nodes
+//
+// Schema format:
+//
+//	relation emp name dept salary
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/schema"
+)
+
+// directives splits the input into non-empty, comment-stripped,
+// whitespace-tokenized lines.
+func directives(r io.Reader) ([][]string, error) {
+	sc := bufio.NewScanner(r)
+	var out [][]string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, append([]string{fmt.Sprint(lineNo)}, fields...))
+	}
+	return out, sc.Err()
+}
+
+// ReadBipartite parses the bipartite graph format.
+func ReadBipartite(r io.Reader) (*bipartite.Graph, error) {
+	ds, err := directives(r)
+	if err != nil {
+		return nil, err
+	}
+	b := bipartite.New()
+	for _, d := range ds {
+		line, cmd, args := d[0], d[1], d[2:]
+		switch cmd {
+		case "v1":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("graphio: line %s: v1 wants one name", line)
+			}
+			if _, ok := b.G().ID(args[0]); ok {
+				return nil, fmt.Errorf("graphio: line %s: duplicate node %q", line, args[0])
+			}
+			b.AddV1(args[0])
+		case "v2":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("graphio: line %s: v2 wants one name", line)
+			}
+			if _, ok := b.G().ID(args[0]); ok {
+				return nil, fmt.Errorf("graphio: line %s: duplicate node %q", line, args[0])
+			}
+			b.AddV2(args[0])
+		case "edge":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("graphio: line %s: edge wants two names", line)
+			}
+			u, ok := b.G().ID(args[0])
+			if !ok {
+				return nil, fmt.Errorf("graphio: line %s: unknown node %q", line, args[0])
+			}
+			v, ok := b.G().ID(args[1])
+			if !ok {
+				return nil, fmt.Errorf("graphio: line %s: unknown node %q", line, args[1])
+			}
+			if b.Side(u) == b.Side(v) {
+				return nil, fmt.Errorf("graphio: line %s: edge %s-%s joins one side", line, args[0], args[1])
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graphio: line %s: unknown directive %q", line, cmd)
+		}
+	}
+	return b, nil
+}
+
+// WriteBipartite serializes a bipartite graph in the same format.
+func WriteBipartite(w io.Writer, b *bipartite.Graph) error {
+	g := b.G()
+	for _, v := range b.V1() {
+		if _, err := fmt.Fprintf(w, "v1 %s\n", g.Label(v)); err != nil {
+			return err
+		}
+	}
+	for _, v := range b.V2() {
+		if _, err := fmt.Fprintf(w, "v2 %s\n", g.Label(v)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if b.Side(u) == graph.Side2 {
+			u, v = v, u
+		}
+		if _, err := fmt.Fprintf(w, "edge %s %s\n", g.Label(u), g.Label(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadHypergraph parses the hypergraph format. Edge members that were not
+// declared with a node directive are created implicitly.
+func ReadHypergraph(r io.Reader) (*hypergraph.Hypergraph, error) {
+	ds, err := directives(r)
+	if err != nil {
+		return nil, err
+	}
+	h := hypergraph.New()
+	for _, d := range ds {
+		line, cmd, args := d[0], d[1], d[2:]
+		switch cmd {
+		case "node":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("graphio: line %s: node wants one name", line)
+			}
+			if _, ok := h.NodeID(args[0]); ok {
+				return nil, fmt.Errorf("graphio: line %s: duplicate node %q", line, args[0])
+			}
+			h.AddNode(args[0])
+		case "edge":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("graphio: line %s: edge wants a name and members", line)
+			}
+			h.AddEdgeLabels(args[0], args[1:]...)
+		default:
+			return nil, fmt.Errorf("graphio: line %s: unknown directive %q", line, cmd)
+		}
+	}
+	return h, nil
+}
+
+// WriteHypergraph serializes a hypergraph in the same format.
+func WriteHypergraph(w io.Writer, h *hypergraph.Hypergraph) error {
+	for v := 0; v < h.N(); v++ {
+		if _, err := fmt.Fprintf(w, "node %s\n", h.NodeLabel(v)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < h.M(); i++ {
+		name := h.EdgeName(i)
+		if name == "" {
+			name = fmt.Sprintf("e%d", i)
+		}
+		if _, err := fmt.Fprintf(w, "edge %s %s\n", name,
+			strings.Join(h.NodeLabels(h.Edge(i)), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSchema parses the schema format.
+func ReadSchema(r io.Reader) (*schema.Schema, error) {
+	ds, err := directives(r)
+	if err != nil {
+		return nil, err
+	}
+	var rels []schema.RelScheme
+	for _, d := range ds {
+		line, cmd, args := d[0], d[1], d[2:]
+		if cmd != "relation" {
+			return nil, fmt.Errorf("graphio: line %s: unknown directive %q", line, cmd)
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("graphio: line %s: relation wants a name and attributes", line)
+		}
+		rels = append(rels, schema.RelScheme{Name: args[0], Attrs: args[1:]})
+	}
+	return schema.New(rels...)
+}

@@ -1,0 +1,133 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+func TestReadBipartite(t *testing.T) {
+	in := `
+# a comment
+v1 A
+v1 B
+v2 r   # trailing comment
+edge A r
+edge B r
+`
+	b, err := ReadBipartite(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 3 || b.M() != 2 {
+		t.Errorf("N=%d M=%d", b.N(), b.M())
+	}
+	if len(b.V1()) != 2 || len(b.V2()) != 1 {
+		t.Error("sides wrong")
+	}
+}
+
+func TestReadBipartiteErrors(t *testing.T) {
+	cases := []string{
+		"v1",
+		"v1 A\nv1 A",
+		"edge A B",
+		"v1 A\nv2 r\nedge A missing",
+		"v1 A\nv1 B\nedge A B",
+		"bogus A",
+		"v1 A\nv2 r\nedge A",
+	}
+	for _, in := range cases {
+		if _, err := ReadBipartite(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBipartiteRoundTrip(t *testing.T) {
+	b := fixtures.Fig11()
+	var buf bytes.Buffer
+	if err := WriteBipartite(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ReadBipartite(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if b2.N() != b.N() || b2.M() != b.M() {
+		t.Errorf("round trip: N=%d M=%d want N=%d M=%d", b2.N(), b2.M(), b.N(), b.M())
+	}
+	for _, e := range b.G().Edges() {
+		u := b2.G().MustID(b.G().Label(e.U))
+		v := b2.G().MustID(b.G().Label(e.V))
+		if !b2.G().HasEdge(u, v) {
+			t.Errorf("edge %s-%s lost", b.G().Label(e.U), b.G().Label(e.V))
+		}
+	}
+}
+
+func TestReadHypergraph(t *testing.T) {
+	in := `
+node a
+edge e1 a b c
+edge e2 c d
+`
+	h, err := ReadHypergraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 4 || h.M() != 2 {
+		t.Errorf("n=%d m=%d", h.N(), h.M())
+	}
+}
+
+func TestReadHypergraphErrors(t *testing.T) {
+	cases := []string{
+		"node",
+		"node a\nnode a",
+		"edge onlyname",
+		"wat x y",
+	}
+	for _, in := range cases {
+		if _, err := ReadHypergraph(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestHypergraphRoundTrip(t *testing.T) {
+	in := "edge e1 a b c\nedge e2 c d\nedge e3 a\n"
+	h, err := ReadHypergraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHypergraph(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHypergraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(h2) {
+		t.Errorf("round trip changed hypergraph:\n%v\n%v", h, h2)
+	}
+}
+
+func TestReadSchema(t *testing.T) {
+	in := "relation emp name dept\nrelation dept dept floor\n"
+	s, err := ReadSchema(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations) != 2 || s.Relations[0].Name != "emp" {
+		t.Errorf("schema = %v", s)
+	}
+	for _, bad := range []string{"relation onlyname", "table x y", "relation r a\nrelation r b"} {
+		if _, err := ReadSchema(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package hypergraph
+
+import "fmt"
+
+// Dual returns the dual hypergraph of h (Definition 3): the nodes of the
+// dual correspond to the edges of h, and for every non-isolated node n of h
+// the dual has an edge containing exactly the dual nodes whose h-edges
+// contain n.
+//
+// Isolated nodes of h (contained in no edge) would produce empty dual
+// edges, which Definition 1 forbids; they are dropped. Consequently
+// Dual(Dual(h)) equals h restricted to its non-isolated nodes (tested as a
+// property).
+func (h *Hypergraph) Dual() *Hypergraph {
+	d := New()
+	// Dual node labels come from edge names, which may repeat or be empty;
+	// disambiguate only on collision so that Dual is an involution when
+	// edge names are distinct (e.g. on a dual, whose edge names are the
+	// original node labels).
+	seen := make(map[string]bool, len(h.edges))
+	for i := range h.edges {
+		name := h.edgeNames[i]
+		if name == "" {
+			name = fmt.Sprintf("e%d", i)
+		}
+		for seen[name] {
+			name = fmt.Sprintf("%s#%d", name, i)
+		}
+		seen[name] = true
+		d.AddNode(name)
+	}
+	for v := 0; v < h.N(); v++ {
+		var members []int
+		for i, e := range h.edges {
+			if e.Contains(v) {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		d.AddEdge(h.nodeLabels[v], members...)
+	}
+	return d
+}

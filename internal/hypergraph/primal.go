@@ -1,0 +1,74 @@
+package hypergraph
+
+import (
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// PrimalGraph returns G(H), the graph with the same nodes as h and an arc
+// between every pair of nodes that are together in some edge
+// (Definition 7). Node ids and labels are preserved.
+func (h *Hypergraph) PrimalGraph() *graph.Graph {
+	g := graph.NewWithNodes(h.nodeLabels...)
+	for _, e := range h.edges {
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				g.AddEdge(e[i], e[j])
+			}
+		}
+	}
+	return g
+}
+
+// Conformal reports whether h is conformal: every clique of G(H) is
+// contained in some edge of h (Definition 7).
+//
+// The test uses Gilmore's criterion (Berge, "Graphs and Hypergraphs"):
+// h is conformal iff for every three edges e1, e2, e3 some edge contains
+// (e1∩e2) ∪ (e2∩e3) ∪ (e3∩e1). Pairs and singletons are trivially covered,
+// so the triple condition is complete. The scan is O(m³) set operations.
+func (h *Hypergraph) Conformal() bool {
+	_, ok := h.conformalCounterexample()
+	return !ok
+}
+
+// ConformalWitness returns a clique of G(H) contained in no edge of h, or
+// nil if h is conformal.
+func (h *Hypergraph) ConformalWitness() intset.Set {
+	w, ok := h.conformalCounterexample()
+	if !ok {
+		return nil
+	}
+	return w
+}
+
+func (h *Hypergraph) conformalCounterexample() (intset.Set, bool) {
+	m := h.M()
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			ab := h.edges[a].Inter(h.edges[b])
+			if ab.Empty() {
+				continue
+			}
+			for c := b; c < m; c++ {
+				u := ab.Union(h.edges[b].Inter(h.edges[c])).Union(h.edges[a].Inter(h.edges[c]))
+				if u.Len() <= 1 {
+					continue
+				}
+				covered := false
+				for _, e := range h.edges {
+					if u.SubsetOf(e) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					// u is a clique of G(H): every pair of its nodes shares
+					// one of e_a, e_b, e_c.
+					return u, true
+				}
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,256 @@
+// Package intset provides a compact sorted-slice set of ints.
+//
+// Hypergraph edges, node neighbourhoods and cover node-sets throughout the
+// library are represented as intset.Set values: sorted, duplicate-free
+// []int slices. The representation is deterministic (iteration order is
+// value order), cheap to hash into strings for map keys, and supports the
+// set algebra (union, intersection, difference, subset) that the paper's
+// hypergraph definitions are written in.
+package intset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a sorted, duplicate-free slice of ints. The zero value is the
+// empty set and is ready to use.
+type Set []int
+
+// New returns a Set containing the given elements (deduplicated, sorted).
+func New(elems ...int) Set {
+	return FromSlice(elems)
+}
+
+// FromSlice returns a Set with the elements of s (deduplicated, sorted).
+// The input slice is not modified.
+func FromSlice(s []int) Set {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return Set(out[:w])
+}
+
+// FromMap returns a Set with the keys of m.
+func FromMap(m map[int]bool) Set {
+	out := make([]int, 0, len(m))
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return Set(out)
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int { return len(s) }
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Contains reports whether x is an element of s.
+func (s Set) Contains(x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Add returns a set containing the elements of s plus x.
+// s itself is not modified.
+func (s Set) Add(x int) Set {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return s
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Remove returns a set containing the elements of s minus x.
+// s itself is not modified.
+func (s Set) Remove(x int) Set {
+	i := sort.SearchInts(s, x)
+	if i >= len(s) || s[i] != x {
+		return s
+	}
+	out := make(Set, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// Union returns the union of s and t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Inter returns the intersection of s and t.
+func (s Set) Inter(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns the set difference s − t.
+func (s Set) Diff(t Set) Set {
+	var out Set
+	j := 0
+	for _, x := range s {
+		for j < len(t) && t[j] < x {
+			j++
+		}
+		if j < len(t) && t[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	j := 0
+	for _, x := range s {
+		for j < len(t) && t[j] < x {
+			j++
+		}
+		if j >= len(t) || t[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊊ t.
+func (s Set) ProperSubsetOf(t Set) bool {
+	return len(s) < len(t) && s.SubsetOf(t)
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s Set) Intersects(t Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// InterLen returns |s ∩ t| without allocating.
+func (s Set) InterLen(t Set) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Key returns a canonical string usable as a map key.
+func (s Set) Key() string {
+	var b strings.Builder
+	for i, x := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// String renders the set as "{a, b, c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

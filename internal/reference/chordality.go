@@ -1,0 +1,128 @@
+package reference
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// IsV1Chordal decides V1-chordality literally per Definition 5: for every
+// cycle of G with at least 8 nodes there is a node of V2 adjacent to at
+// least two nodes of the cycle whose distance along the cycle is at least
+// 4. (Such a witness node is necessarily adjacent to V1 nodes of the
+// cycle, since the graph is bipartite.) Exponential.
+func IsV1Chordal(b *bipartite.Graph) bool {
+	_, ok := FindV1ChordalityViolation(b)
+	return !ok
+}
+
+// FindV1ChordalityViolation returns a cycle of length ≥ 8 with no
+// Definition 5 witness, if one exists.
+func FindV1ChordalityViolation(b *bipartite.Graph) ([]int, bool) {
+	g := b.G()
+	for _, c := range AllCycles(g, 8) {
+		if !hasShortcutWitness(b, c) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// hasShortcutWitness reports whether some V2 node is adjacent to two cycle
+// nodes at cycle distance ≥ 4.
+func hasShortcutWitness(b *bipartite.Graph, cycle []int) bool {
+	g := b.G()
+	pos := map[int]int{}
+	for i, v := range cycle {
+		pos[v] = i
+	}
+	for _, u := range b.V2() {
+		nbr := g.Neighbors(u)
+		var onCycle []int
+		for _, v := range nbr {
+			if _, ok := pos[v]; ok {
+				onCycle = append(onCycle, v)
+			}
+		}
+		for i := 0; i < len(onCycle); i++ {
+			for j := i + 1; j < len(onCycle); j++ {
+				if graph.CycleDistance(pos[onCycle[i]], pos[onCycle[j]], len(cycle)) >= 4 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsV2Chordal is IsV1Chordal with the sides swapped.
+func IsV2Chordal(b *bipartite.Graph) bool {
+	return IsV1Chordal(b.Swap())
+}
+
+// IsV1Conformal decides V1-conformity literally per Definition 5: for every
+// set S of at least two V1 nodes with pairwise distance exactly 2 there is
+// a V2 node adjacent to every node of S. Exponential in |V1|.
+//
+// Singleton sets are excluded, mirroring the size-≥2 clique convention of
+// hypergraph conformality (see internal/hypergraph.Conformal).
+func IsV1Conformal(b *bipartite.Graph) bool {
+	_, ok := FindV1ConformityViolation(b)
+	return !ok
+}
+
+// FindV1ConformityViolation returns a mutually-distance-2 subset of V1 with
+// no common V2 neighbour, if one exists.
+func FindV1ConformityViolation(b *bipartite.Graph) (intset.Set, bool) {
+	g := b.G()
+	v1 := b.V1()
+	// Pairwise distance 2 = the pair shares a V2 neighbour (distance cannot
+	// be lower between two V1 nodes, and we require exactly 2).
+	share := func(x, y int) bool {
+		return g.Neighbors(x).Intersects(g.Neighbors(y))
+	}
+	n := len(v1)
+	var cur []int
+	var bad intset.Set
+	var rec func(idx int) bool
+	rec = func(idx int) bool {
+		if len(cur) >= 2 {
+			common := g.Neighbors(cur[0]).Clone()
+			for _, v := range cur[1:] {
+				common = common.Inter(g.Neighbors(v))
+			}
+			if common.Empty() {
+				bad = intset.FromSlice(cur)
+				return true
+			}
+		}
+		for i := idx; i < n; i++ {
+			v := v1[i]
+			ok := true
+			for _, u := range cur {
+				if !share(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, v)
+			if rec(i + 1) {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return false
+	}
+	if rec(0) {
+		return bad, true
+	}
+	return nil, false
+}
+
+// IsV2Conformal is IsV1Conformal with the sides swapped.
+func IsV2Conformal(b *bipartite.Graph) bool {
+	return IsV1Conformal(b.Swap())
+}

@@ -1,0 +1,202 @@
+package reference
+
+import (
+	"math/bits"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// MinimumCover returns a minimum cover of the terminals P per
+// Definition 10: a smallest node set V' ⊇ P whose induced subgraph is
+// connected. It returns nil, false when P cannot be connected. Exponential
+// in |V − P|; small graphs only.
+func MinimumCover(g *graph.Graph, terminals []int) (intset.Set, bool) {
+	p := intset.FromSlice(terminals)
+	var others []int
+	for v := 0; v < g.N(); v++ {
+		if !p.Contains(v) {
+			others = append(others, v)
+		}
+	}
+	if len(others) > 30 {
+		panic("reference.MinimumCover: instance too large")
+	}
+	alive := make([]bool, g.N())
+	try := func(mask uint64) bool {
+		for i := range alive {
+			alive[i] = false
+		}
+		for _, v := range p {
+			alive[v] = true
+		}
+		for i, v := range others {
+			if mask&(1<<uint(i)) != 0 {
+				alive[v] = true
+			}
+		}
+		return g.Covers(alive, terminals)
+	}
+	// Search by increasing number of extra nodes.
+	for extra := 0; extra <= len(others); extra++ {
+		for mask := uint64(0); mask < 1<<uint(len(others)); mask++ {
+			if bits.OnesCount64(mask) != extra {
+				continue
+			}
+			if try(mask) {
+				var sel []int
+				sel = append(sel, p...)
+				for i, v := range others {
+					if mask&(1<<uint(i)) != 0 {
+						sel = append(sel, v)
+					}
+				}
+				return intset.FromSlice(sel), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// SteinerMinimumNodes returns the number of nodes of a minimum cover
+// (equivalently, of a Steiner tree: a spanning tree of a minimum cover is
+// node-minimum), or -1 when P is disconnected in g.
+func SteinerMinimumNodes(g *graph.Graph, terminals []int) int {
+	cover, ok := MinimumCover(g, terminals)
+	if !ok {
+		return -1
+	}
+	return cover.Len()
+}
+
+// MinimumV2Count returns the minimum possible number of V2 nodes in a cover
+// of the terminals (the pseudo-Steiner optimum with respect to V2,
+// Definition 9), or -1 when P cannot be connected. Exponential in |V2|.
+//
+// It is enough to search over subsets W of V2: the subgraph induced by
+// V1 ∪ W contains a component covering P iff some cover V' with
+// V' ∩ V2 ⊆ W exists.
+func MinimumV2Count(b *bipartite.Graph, terminals []int) int {
+	g := b.G()
+	v2 := b.V2()
+	p := intset.FromSlice(terminals)
+	var optional []int
+	var forced int
+	for _, w := range v2 {
+		if p.Contains(w) {
+			forced++
+		} else {
+			optional = append(optional, w)
+		}
+	}
+	if len(optional) > 30 {
+		panic("reference.MinimumV2Count: instance too large")
+	}
+	alive := make([]bool, g.N())
+	try := func(mask uint64) bool {
+		for v := 0; v < g.N(); v++ {
+			alive[v] = b.Side(v) == graph.Side1
+		}
+		for _, t := range terminals {
+			alive[t] = true
+		}
+		for i, w := range optional {
+			if mask&(1<<uint(i)) != 0 {
+				alive[w] = true
+			}
+		}
+		// A component of the alive subgraph containing all terminals is a
+		// cover whose V2 nodes are within the selection.
+		if len(terminals) == 0 {
+			return true
+		}
+		dist := g.BFSDistancesAlive(terminals[0], alive)
+		for _, t := range terminals {
+			if dist[t] == -1 {
+				return false
+			}
+		}
+		return true
+	}
+	for extra := 0; extra <= len(optional); extra++ {
+		for mask := uint64(0); mask < 1<<uint(len(optional)); mask++ {
+			if bits.OnesCount64(mask) != extra {
+				continue
+			}
+			if try(mask) {
+				return forced + extra
+			}
+		}
+	}
+	return -1
+}
+
+// IsNonredundantCover reports whether the subgraph induced by nodes is a
+// nonredundant cover of the terminals (Definition 10): a cover from which
+// no single node can be removed while remaining a cover.
+func IsNonredundantCover(g *graph.Graph, nodes intset.Set, terminals []int) bool {
+	alive := make([]bool, g.N())
+	for _, v := range nodes {
+		alive[v] = true
+	}
+	if !g.Covers(alive, terminals) {
+		return false
+	}
+	p := intset.FromSlice(terminals)
+	for _, v := range nodes {
+		if p.Contains(v) {
+			continue
+		}
+		alive[v] = false
+		if g.Covers(alive, terminals) {
+			return false
+		}
+		alive[v] = true
+	}
+	// Removing a terminal never leaves a cover (P ⊄ V'), so only
+	// non-terminals matter.
+	return true
+}
+
+// IsMinimumCover reports whether nodes induces a cover of the terminals of
+// minimum size. Exponential.
+func IsMinimumCover(g *graph.Graph, nodes intset.Set, terminals []int) bool {
+	alive := make([]bool, g.N())
+	for _, v := range nodes {
+		alive[v] = true
+	}
+	if !g.Covers(alive, terminals) {
+		return false
+	}
+	best, ok := MinimumCover(g, terminals)
+	return ok && nodes.Len() == best.Len()
+}
+
+// NonredundantCovers enumerates every nonredundant cover of the terminals.
+// Exponential; used by Lemma 5 experiments on small graphs.
+func NonredundantCovers(g *graph.Graph, terminals []int) []intset.Set {
+	p := intset.FromSlice(terminals)
+	var others []int
+	for v := 0; v < g.N(); v++ {
+		if !p.Contains(v) {
+			others = append(others, v)
+		}
+	}
+	if len(others) > 22 {
+		panic("reference.NonredundantCovers: instance too large")
+	}
+	var out []intset.Set
+	for mask := uint64(0); mask < 1<<uint(len(others)); mask++ {
+		sel := p.Clone()
+		for i, v := range others {
+			if mask&(1<<uint(i)) != 0 {
+				sel = sel.Add(v)
+			}
+		}
+		if IsNonredundantCover(g, sel, terminals) {
+			out = append(out, sel)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package reference implements slow, directly-definitional checkers for
+// every property the library's fast recognizers decide: (m,n)-chordality by
+// cycle enumeration (Definition 4), Vi-chordality and Vi-conformity
+// (Definition 5), Berge/β/γ-cycles by exhaustive edge-sequence search
+// (Definition 6), chordal graphs, and brute-force minimum covers and
+// Steiner trees (Definition 10).
+//
+// Everything here is exponential and intended only for tests and
+// experiments on small instances, where it certifies the polynomial
+// implementations in internal/chordality, internal/hypergraph and
+// internal/steiner.
+package reference
+
+import (
+	"repro/internal/graph"
+)
+
+// AllCycles enumerates every cycle of g with at least minLen nodes, each
+// reported once as a node sequence in canonical form: the smallest node
+// first, and its smaller neighbour second. Exponential; small graphs only.
+func AllCycles(g *graph.Graph, minLen int) [][]int {
+	var out [][]int
+	n := g.N()
+	inPath := make([]bool, n)
+	var path []int
+	var extend func(start int)
+	extend = func(start int) {
+		last := path[len(path)-1]
+		for _, w := range g.Neighbors(last) {
+			if w == start {
+				// Close the cycle when long enough; canonical direction:
+				// second node smaller than last node (avoids reporting each
+				// cycle twice).
+				if len(path) >= 3 && len(path) >= minLen && path[1] < path[len(path)-1] {
+					out = append(out, append([]int(nil), path...))
+				}
+				continue
+			}
+			if w < start || inPath[w] {
+				continue
+			}
+			inPath[w] = true
+			path = append(path, w)
+			extend(start)
+			path = path[:len(path)-1]
+			inPath[w] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		inPath[s] = true
+		path = append(path[:0], s)
+		extend(s)
+		inPath[s] = false
+	}
+	return out
+}
+
+// IsMNChordal reports whether g is (m, n)-chordal per Definition 4: every
+// cycle with at least m nodes has at least n chords. Exponential.
+func IsMNChordal(g *graph.Graph, m, n int) bool {
+	_, ok := FindMNChordalityViolation(g, m, n)
+	return !ok
+}
+
+// FindMNChordalityViolation returns a cycle of length ≥ m with fewer than n
+// chords, if one exists.
+func FindMNChordalityViolation(g *graph.Graph, m, n int) ([]int, bool) {
+	for _, c := range AllCycles(g, m) {
+		if len(g.CycleChords(c)) < n {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// IsChordalGraph reports whether g is chordal (every cycle of length ≥ 4
+// has a chord), by enumeration. Exponential.
+func IsChordalGraph(g *graph.Graph) bool {
+	return IsMNChordal(g, 4, 1)
+}

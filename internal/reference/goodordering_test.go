@@ -1,0 +1,98 @@
+package reference
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// fig3bGraph rebuilds the (6,2)-chordal Fig 3b graph (fixtures are not
+// importable here: reference must stay below fixtures in the dependency
+// order used by the steiner tests).
+func fig3bGraph() *bipartite.Graph {
+	b := bipartite.New()
+	for _, l := range []string{"A", "B", "C"} {
+		b.AddV1(l)
+	}
+	for _, l := range []string{"1", "2", "3"} {
+		b.AddV2(l)
+	}
+	for _, arc := range [][2]string{
+		{"A", "1"}, {"B", "1"}, {"B", "2"}, {"C", "2"}, {"C", "3"}, {"A", "3"},
+		{"C", "1"}, {"A", "2"},
+	} {
+		u, _ := b.G().ID(arc[0])
+		v, _ := b.G().ID(arc[1])
+		b.AddEdge(u, v)
+	}
+	return b
+}
+
+// TestCorollary5ExhaustiveOnFig3b verifies Corollary 5 EXHAUSTIVELY on the
+// paper's own (6,2)-chordal example: every one of the 720 node orderings is
+// a good ordering per Definition 11 (checked over every terminal subset).
+func TestCorollary5ExhaustiveOnFig3b(t *testing.T) {
+	g := fig3bGraph().G()
+	n := g.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	count := 0
+	var failed []int
+	rec = func(k int) {
+		if failed != nil {
+			return
+		}
+		if k == n {
+			count++
+			if !IsGoodOrdering(g, perm) {
+				failed = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if failed != nil {
+		t.Fatalf("ordering %v is not good on the (6,2)-chordal Fig 3b", failed)
+	}
+	if count != 720 {
+		t.Fatalf("checked %d orderings, want 720", count)
+	}
+}
+
+// TestGoodOrderingViolationOnSingleChordCycle shows the converse side of
+// Lemma 4/Corollary 5: on the (6,1)-but-not-(6,2) Fig 3c graph some
+// ordering is NOT good.
+func TestGoodOrderingViolationOnSingleChordCycle(t *testing.T) {
+	b := bipartite.New()
+	for _, l := range []string{"A", "B", "C"} {
+		b.AddV1(l)
+	}
+	for _, l := range []string{"1", "2", "3"} {
+		b.AddV2(l)
+	}
+	for _, arc := range [][2]string{
+		{"A", "1"}, {"B", "1"}, {"B", "2"}, {"C", "2"}, {"C", "3"}, {"A", "3"},
+		{"C", "1"},
+	} {
+		u, _ := b.G().ID(arc[0])
+		v, _ := b.G().ID(arc[1])
+		b.AddEdge(u, v)
+	}
+	g := b.G()
+	// Eliminating node 1 first loses the shortcut for P = {B, A}: the
+	// elimination is forced around the long way.
+	order := g.IDs("1", "A", "B", "C", "2", "3")
+	if terms, bad := FindGoodOrderingViolation(g, order); !bad {
+		t.Error("expected a violation on the single-chord 6-cycle")
+	} else if terms.Empty() {
+		t.Error("violation without terminals")
+	}
+}

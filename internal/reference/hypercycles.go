@@ -1,0 +1,159 @@
+package reference
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/intset"
+)
+
+// HasBergeCycle searches for a Berge cycle per Definition 6: q ≥ 2 distinct
+// edges e_1 … e_q and q distinct nodes n_1 … n_q with n_i ∈ e_i ∩ e_{i+1}
+// and n_q ∈ e_q ∩ e_1. Exhaustive over cyclic edge sequences with a
+// backtracking search for distinct connecting nodes. Exponential.
+func HasBergeCycle(h *hypergraph.Hypergraph) bool {
+	m := h.M()
+	for q := 2; q <= m; q++ {
+		if searchEdgeCycles(h, q, func(seq []int) bool {
+			return hasDistinctConnectors(h, seq, nil)
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBetaCycle searches for a β-cycle per Definition 6: a Berge cycle with
+// q ≥ 3 whose connecting node n_i lies in no edge of the sequence other
+// than e_i and e_{i+1} (and n_q only in e_q and e_1). Exponential.
+func HasBetaCycle(h *hypergraph.Hypergraph) bool {
+	m := h.M()
+	for q := 3; q <= m; q++ {
+		if searchEdgeCycles(h, q, func(seq []int) bool {
+			return hasExclusiveConnectors(h, seq)
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasGammaCycle searches for a γ-cycle per Definition 6: a β-cycle, or a
+// 3-edge cycle (e1, e2, e3) whose connectors satisfy n1 ∉ e3 and n2 ∉ e1.
+func HasGammaCycle(h *hypergraph.Hypergraph) bool {
+	if HasBetaCycle(h) {
+		return true
+	}
+	return searchEdgeCycles(h, 3, func(seq []int) bool {
+		// The special-triangle conditions are not rotation invariant, so
+		// try every choice of middle edge (reflections are symmetric).
+		for r := 0; r < 3; r++ {
+			e1, e2, e3 := h.Edge(seq[r]), h.Edge(seq[(r+1)%3]), h.Edge(seq[(r+2)%3])
+			n1s := e1.Inter(e2).Diff(e3)
+			n2s := e2.Inter(e3).Diff(e1)
+			n3s := e3.Inter(e1)
+			// Any n3 ∈ e3 ∩ e1 is automatically distinct from n1 (∉ e3)
+			// and n2 (∉ e1).
+			if !n1s.Empty() && !n2s.Empty() && !n3s.Empty() {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// searchEdgeCycles enumerates cyclic sequences of q distinct edge indices
+// up to rotation and reflection (first index minimal, second < last) and
+// returns true as soon as accept does.
+func searchEdgeCycles(h *hypergraph.Hypergraph, q int, accept func(seq []int) bool) bool {
+	m := h.M()
+	if q > m {
+		return false
+	}
+	seq := make([]int, 0, q)
+	used := make([]bool, m)
+	var rec func() bool
+	rec = func() bool {
+		if len(seq) == q {
+			if q > 2 && seq[1] > seq[q-1] {
+				return false // canonical reflection only
+			}
+			return accept(seq)
+		}
+		for e := 0; e < m; e++ {
+			if used[e] || e <= seq[0] {
+				continue
+			}
+			used[e] = true
+			seq = append(seq, e)
+			if rec() {
+				return true
+			}
+			seq = seq[:len(seq)-1]
+			used[e] = false
+		}
+		return false
+	}
+	for first := 0; first <= m-q; first++ {
+		seq = append(seq[:0], first)
+		for i := range used {
+			used[i] = false
+		}
+		used[first] = true
+		if rec() {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDistinctConnectors checks for distinct nodes n_i ∈ e_i ∩ e_{i+1}
+// (cyclically), optionally constrained to the given candidate sets, via
+// backtracking.
+func hasDistinctConnectors(h *hypergraph.Hypergraph, seq []int, candidates []intset.Set) bool {
+	q := len(seq)
+	if candidates == nil {
+		candidates = make([]intset.Set, q)
+		for i := 0; i < q; i++ {
+			candidates[i] = h.Edge(seq[i]).Inter(h.Edge(seq[(i+1)%q]))
+		}
+	}
+	usedNode := map[int]bool{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == q {
+			return true
+		}
+		for _, n := range candidates[i] {
+			if usedNode[n] {
+				continue
+			}
+			usedNode[n] = true
+			if rec(i + 1) {
+				return true
+			}
+			delete(usedNode, n)
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// hasExclusiveConnectors checks the β-cycle node conditions: the candidate
+// set for position i excludes every edge of the sequence other than e_i and
+// e_{i+1}. The candidate sets are then pairwise disjoint, so nonemptiness
+// of each suffices.
+func hasExclusiveConnectors(h *hypergraph.Hypergraph, seq []int) bool {
+	q := len(seq)
+	for i := 0; i < q; i++ {
+		cand := h.Edge(seq[i]).Inter(h.Edge(seq[(i+1)%q]))
+		for j := 0; j < q; j++ {
+			if j == i || j == (i+1)%q {
+				continue
+			}
+			cand = cand.Diff(h.Edge(seq[j]))
+		}
+		if cand.Empty() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,308 @@
+package reference
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/intset"
+)
+
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestAllCyclesCounts(t *testing.T) {
+	tests := []struct {
+		name   string
+		g      *graph.Graph
+		minLen int
+		want   int
+	}{
+		{"C4", cycleGraph(4), 3, 1},
+		{"C6", cycleGraph(6), 3, 1},
+		{"C6 minLen 8", cycleGraph(6), 8, 0},
+		{"K4", completeGraph(4), 3, 7}, // 4 triangles + 3 four-cycles
+		{"K4 minLen 4", completeGraph(4), 4, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(AllCycles(tc.g, tc.minLen)); got != tc.want {
+				t.Errorf("got %d cycles, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestAllCyclesAreCycles(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 50; iter++ {
+		g := randomGraph(r, 7, 0.4)
+		for _, c := range AllCycles(g, 3) {
+			if !g.IsCycle(c) {
+				t.Fatalf("enumerated non-cycle %v in %v", c, g)
+			}
+		}
+	}
+}
+
+func randomGraph(r *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestIsMNChordal(t *testing.T) {
+	c6 := cycleGraph(6)
+	if IsMNChordal(c6, 6, 1) {
+		t.Error("chordless C6 is not (6,1)-chordal")
+	}
+	if !IsMNChordal(c6, 8, 1) {
+		t.Error("C6 is vacuously (8,1)-chordal")
+	}
+	c6.AddEdge(0, 3)
+	if !IsMNChordal(c6, 6, 1) {
+		t.Error("C6 + one chord is (6,1)-chordal")
+	}
+	if IsMNChordal(c6, 6, 2) {
+		t.Error("C6 + one chord is not (6,2)-chordal")
+	}
+	if !IsChordalGraph(completeGraph(5)) {
+		t.Error("K5 is chordal")
+	}
+	if IsChordalGraph(cycleGraph(4)) {
+		t.Error("C4 is not chordal")
+	}
+}
+
+func TestFindMNChordalityViolationWitness(t *testing.T) {
+	c6 := cycleGraph(6)
+	cyc, bad := FindMNChordalityViolation(c6, 6, 1)
+	if !bad || len(cyc) != 6 {
+		t.Fatalf("violation = %v, %v", cyc, bad)
+	}
+	if !c6.IsCycle(cyc) {
+		t.Error("witness is not a cycle")
+	}
+}
+
+// bipartiteC8 is the chordless 8-cycle as a bipartite graph.
+func bipartiteC8() *bipartite.Graph {
+	b := bipartite.New()
+	var ids []int
+	for i := 0; i < 4; i++ {
+		ids = append(ids, b.AddV1(string(rune('a'+i))))
+		ids = append(ids, b.AddV2(string(rune('w'+i))))
+	}
+	for i := 0; i < 8; i++ {
+		b.AddEdge(ids[i], ids[(i+1)%8])
+	}
+	return b
+}
+
+func TestV1ChordalReference(t *testing.T) {
+	c8 := bipartiteC8()
+	if IsV1Chordal(c8) {
+		t.Error("chordless C8 should not be V1-chordal")
+	}
+	if IsV2Chordal(c8) {
+		t.Error("chordless C8 should not be V2-chordal")
+	}
+	// Add a V2 hub adjacent to all V1 nodes: every pair of V1 nodes now has
+	// a witness at distance 4 on the cycle.
+	hub := c8.AddV2("hub")
+	for _, v := range c8.V1() {
+		c8.AddEdge(v, hub)
+	}
+	if !IsV1Chordal(c8) {
+		t.Error("hubbed C8 should be V1-chordal")
+	}
+	cyc, bad := FindV1ChordalityViolation(bipartiteC8())
+	if !bad || len(cyc) != 8 {
+		t.Errorf("violation = %v, %v", cyc, bad)
+	}
+}
+
+func TestV1ConformalReference(t *testing.T) {
+	// Three V1 nodes pairwise sharing V2 neighbours but with no common one.
+	b := bipartite.New()
+	a := b.AddV1("a")
+	bb := b.AddV1("b")
+	c := b.AddV1("c")
+	for _, pair := range [][2]int{{a, bb}, {bb, c}, {a, c}} {
+		w := b.AddV2("w" + b.G().Label(pair[0]) + b.G().Label(pair[1]))
+		b.AddEdge(pair[0], w)
+		b.AddEdge(pair[1], w)
+	}
+	if IsV1Conformal(b) {
+		t.Error("triangle pattern should not be V1-conformal")
+	}
+	s, bad := FindV1ConformityViolation(b)
+	if !bad || s.Len() < 2 {
+		t.Fatalf("violation = %v, %v", s, bad)
+	}
+	hub := b.AddV2("hub")
+	for _, v := range b.V1() {
+		b.AddEdge(v, hub)
+	}
+	if !IsV1Conformal(b) {
+		t.Error("hubbed triangle should be V1-conformal")
+	}
+	if !IsV2Conformal(bipartiteC8()) {
+		t.Error("C8 is V2-conformal (no distance-2 triples with trouble)")
+	}
+}
+
+func TestDefinitionalCycleSearchesAgainstFast(t *testing.T) {
+	// The fast recognizers in internal/hypergraph must agree with the
+	// literal Definition 6 searches on random hypergraphs.
+	r := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 400; iter++ {
+		h := randomH(r, 2+r.Intn(5), 2+r.Intn(4))
+		if got, want := h.BergeAcyclic(), !HasBergeCycle(h); got != want {
+			t.Fatalf("Berge mismatch on %v: fast=%v ref=%v", h, got, want)
+		}
+		if got, want := h.BetaAcyclic(), !HasBetaCycle(h); got != want {
+			t.Fatalf("beta mismatch on %v: fast=%v ref=%v", h, got, want)
+		}
+		if got, want := h.GammaAcyclic(), !HasGammaCycle(h); got != want {
+			t.Fatalf("gamma mismatch on %v: fast=%v ref=%v", h, got, want)
+		}
+	}
+}
+
+func randomH(r *rand.Rand, n, m int) *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	for i := 0; i < n; i++ {
+		h.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < m; i++ {
+		sz := 1 + r.Intn(n)
+		perm := r.Perm(n)
+		h.AddEdge("", perm[:sz]...)
+	}
+	return h
+}
+
+func TestMinimumCover(t *testing.T) {
+	// Path a-b-c-d: minimum cover of {a,d} is all four nodes.
+	g := graph.NewWithNodes("a", "b", "c", "d")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	cover, ok := MinimumCover(g, []int{0, 3})
+	if !ok || cover.Len() != 4 {
+		t.Fatalf("cover = %v, %v", cover, ok)
+	}
+	if SteinerMinimumNodes(g, []int{0, 3}) != 4 {
+		t.Error("SteinerMinimumNodes wrong")
+	}
+	// Disconnected terminals.
+	g.AddNode("iso")
+	if _, ok := MinimumCover(g, []int{0, 4}); ok {
+		t.Error("disconnected terminals covered")
+	}
+	if SteinerMinimumNodes(g, []int{0, 4}) != -1 {
+		t.Error("expected -1 for disconnected terminals")
+	}
+}
+
+func TestMinimumCoverPrefersShortcut(t *testing.T) {
+	// a-b-c and a-x-y-c: minimum cover of {a,c} goes through b.
+	g := graph.NewWithNodes("a", "b", "c", "x", "y")
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2)
+	cover, ok := MinimumCover(g, []int{0, 2})
+	if !ok || !cover.Equal(intset.New(0, 1, 2)) {
+		t.Errorf("cover = %v", cover)
+	}
+}
+
+func TestMinimumV2Count(t *testing.T) {
+	// V1 = {a, c}, V2 = {w1 (a,c), w2 (a), w3 (c)}: optimum is 1 (w1).
+	b := bipartite.New()
+	a := b.AddV1("a")
+	c := b.AddV1("c")
+	w1 := b.AddV2("w1")
+	w2 := b.AddV2("w2")
+	w3 := b.AddV2("w3")
+	b.AddEdge(a, w1)
+	b.AddEdge(c, w1)
+	b.AddEdge(a, w2)
+	b.AddEdge(c, w3)
+	if got := MinimumV2Count(b, []int{a, c}); got != 1 {
+		t.Errorf("MinimumV2Count = %d, want 1", got)
+	}
+	// A V2 terminal is forced.
+	if got := MinimumV2Count(b, []int{a, w2}); got != 1 {
+		t.Errorf("MinimumV2Count with V2 terminal = %d, want 1", got)
+	}
+	// Disconnected.
+	iso := b.AddV1("iso")
+	if got := MinimumV2Count(b, []int{a, iso}); got != -1 {
+		t.Errorf("MinimumV2Count disconnected = %d, want -1", got)
+	}
+}
+
+func TestNonredundantAndMinimumCovers(t *testing.T) {
+	// C6: covers of two opposite nodes {0, 3} — both halves of the cycle
+	// are nonredundant covers of equal size 4 (plus none smaller).
+	g := cycleGraph(6)
+	covers := NonredundantCovers(g, []int{0, 3})
+	if len(covers) != 2 {
+		t.Fatalf("nonredundant covers = %v", covers)
+	}
+	for _, c := range covers {
+		if c.Len() != 4 {
+			t.Errorf("cover %v has size %d", c, c.Len())
+		}
+		if !IsMinimumCover(g, c, []int{0, 3}) {
+			t.Errorf("cover %v not minimum", c)
+		}
+		if !IsNonredundantCover(g, c, []int{0, 3}) {
+			t.Errorf("cover %v not nonredundant (enumeration bug)", c)
+		}
+	}
+	// The full cycle is a cover but redundant.
+	all := intset.New(0, 1, 2, 3, 4, 5)
+	if IsNonredundantCover(g, all, []int{0, 3}) {
+		t.Error("full C6 should be redundant")
+	}
+	if IsMinimumCover(g, all, []int{0, 3}) {
+		t.Error("full C6 should not be minimum")
+	}
+}

@@ -1,0 +1,70 @@
+package relational
+
+// Consistency of database instances — the first "desirable property" of
+// acyclic schemes the paper cites in Section 2 (via Beeri, Fagin, Maier,
+// Yannakakis [2]): a database is *pairwise consistent* when every two
+// relations agree after mutual semijoins, and *globally consistent* when
+// every relation is exactly the projection of one universal join result.
+// On α-acyclic schemes pairwise consistency implies global consistency;
+// on cyclic schemes it does not (the classic triangle counterexample).
+
+// PairwiseConsistent reports whether every pair of relations is join
+// consistent: semijoining either against the other loses no tuples.
+func PairwiseConsistent(rels []*Relation) bool {
+	for i := 0; i < len(rels); i++ {
+		for j := 0; j < len(rels); j++ {
+			if i == j {
+				continue
+			}
+			if Semijoin(rels[i], rels[j]).Len() != rels[i].Len() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GloballyConsistent reports whether every relation equals the projection
+// of the full natural join onto its attributes — no tuple dangles.
+func GloballyConsistent(rels []*Relation) bool {
+	if len(rels) == 0 {
+		return true
+	}
+	full := JoinNaive(rels)
+	for _, r := range rels {
+		proj := full.Project(r.Attrs...)
+		proj.Name = r.Name
+		if !Equal(proj, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// MakePairwiseConsistent repeatedly semijoins every relation against every
+// other until a fixpoint, returning reduced copies. On α-acyclic schemes
+// (with a join tree) FullReduce achieves the same in two sweeps; this
+// general fixpoint exists for comparison and for cyclic schemes, where it
+// reaches pairwise — but not necessarily global — consistency.
+func MakePairwiseConsistent(rels []*Relation) []*Relation {
+	out := make([]*Relation, len(rels))
+	for i, r := range rels {
+		out[i] = r.Clone()
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range out {
+			for j := range out {
+				if i == j {
+					continue
+				}
+				reduced := Semijoin(out[i], out[j])
+				if reduced.Len() != out[i].Len() {
+					out[i] = reduced
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// triangleDB is the classic pairwise-but-not-globally-consistent instance
+// on the cyclic scheme r1(a,b), r2(b,c), r3(c,a): every pair joins, but no
+// single tuple survives the triangle (the parity trap).
+func triangleDB() []*Relation {
+	r1 := NewRelation("r1", "a", "b")
+	r2 := NewRelation("r2", "b", "c")
+	r3 := NewRelation("r3", "c", "a")
+	r1.Insert("0", "0")
+	r1.Insert("1", "1")
+	r2.Insert("0", "1")
+	r2.Insert("1", "0")
+	r3.Insert("0", "0")
+	r3.Insert("1", "1")
+	return []*Relation{r1, r2, r3}
+}
+
+func TestTriangleIsPairwiseNotGlobal(t *testing.T) {
+	rels := triangleDB()
+	if !PairwiseConsistent(rels) {
+		t.Fatal("triangle instance should be pairwise consistent")
+	}
+	if GloballyConsistent(rels) {
+		t.Fatal("triangle instance should NOT be globally consistent")
+	}
+	// The full join is in fact empty.
+	if JoinNaive(rels).Len() != 0 {
+		t.Error("triangle join should be empty")
+	}
+}
+
+func TestAcyclicPairwiseImpliesGlobal(t *testing.T) {
+	// On chain (α-acyclic) schemas, reducing to pairwise consistency must
+	// yield global consistency (the [2] theorem the paper cites).
+	r := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 60; iter++ {
+		k := 2 + r.Intn(3)
+		rels := make([]*Relation, k)
+		for i := 0; i < k; i++ {
+			rels[i] = NewRelation(fmt.Sprintf("r%d", i), fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1))
+			for j := 0; j < 3+r.Intn(5); j++ {
+				rels[i].Insert(fmt.Sprint(r.Intn(3)), fmt.Sprint(r.Intn(3)))
+			}
+		}
+		reduced := MakePairwiseConsistent(rels)
+		if !PairwiseConsistent(reduced) {
+			t.Fatal("fixpoint not pairwise consistent")
+		}
+		if !GloballyConsistent(reduced) {
+			t.Fatalf("pairwise but not global on acyclic scheme: %v", reduced)
+		}
+	}
+}
+
+func TestMakePairwiseConsistentIdempotent(t *testing.T) {
+	rels := triangleDB()
+	once := MakePairwiseConsistent(rels)
+	twice := MakePairwiseConsistent(once)
+	for i := range once {
+		if !Equal(once[i], twice[i]) {
+			t.Error("fixpoint not idempotent")
+		}
+	}
+	// Inputs untouched.
+	if rels[0].Len() != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestFullReduceAchievesPairwiseOnTree(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	rels, parent := chainDB(r, 3, 6, 3)
+	reduced, err := FullReduce(rels, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !PairwiseConsistent(adjacentOnly(reduced)) {
+		t.Error("full reduction should leave adjacent relations consistent")
+	}
+	if !GloballyConsistent(reduced) {
+		t.Error("full reduction on a join tree must give global consistency")
+	}
+}
+
+// adjacentOnly is the identity here (chain relations share attributes only
+// with neighbours; non-adjacent pairs are trivially consistent), kept for
+// readability.
+func adjacentOnly(rels []*Relation) []*Relation { return rels }
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !PairwiseConsistent(nil) || !GloballyConsistent(nil) {
+		t.Error("empty database should be consistent")
+	}
+	r := NewRelation("r", "a")
+	r.Insert("x")
+	if !PairwiseConsistent([]*Relation{r}) || !GloballyConsistent([]*Relation{r}) {
+		t.Error("singleton database should be consistent")
+	}
+}

@@ -1,0 +1,98 @@
+package relational
+
+import "fmt"
+
+// Rename returns a copy of r with attribute old renamed to new. It panics
+// if old is absent or new collides (programmer error, mirroring Project).
+func (r *Relation) Rename(old, new string) *Relation {
+	if !r.HasAttr(old) {
+		panic(fmt.Sprintf("relational: %s has no attribute %q", r.Name, old))
+	}
+	if old != new && r.HasAttr(new) {
+		panic(fmt.Sprintf("relational: %s already has attribute %q", r.Name, new))
+	}
+	attrs := append([]string(nil), r.Attrs...)
+	for i, a := range attrs {
+		if a == old {
+			attrs[i] = new
+		}
+	}
+	out := NewRelation(r.Name, attrs...)
+	for _, t := range r.tuples {
+		out.Insert(t...)
+	}
+	return out
+}
+
+// Union returns a ∪ b. Both relations must have the same attribute set;
+// column order may differ (b's tuples are permuted to a's order).
+func Union(a, b *Relation) (*Relation, error) {
+	perm, err := columnPermutation(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(a.Name, a.Attrs...)
+	for _, t := range a.tuples {
+		out.Insert(t...)
+	}
+	row := make([]string, len(a.Attrs))
+	for _, t := range b.tuples {
+		for i, j := range perm {
+			row[i] = t[j]
+		}
+		out.Insert(row...)
+	}
+	return out, nil
+}
+
+// Difference returns a ∖ b under the same attribute-compatibility rules as
+// Union.
+func Difference(a, b *Relation) (*Relation, error) {
+	perm, err := columnPermutation(a, b)
+	if err != nil {
+		return nil, err
+	}
+	drop := map[string]bool{}
+	row := make([]string, len(a.Attrs))
+	for _, t := range b.tuples {
+		for i, j := range perm {
+			row[i] = t[j]
+		}
+		drop[tupleKey(row)] = true
+	}
+	out := NewRelation(a.Name, a.Attrs...)
+	for _, t := range a.tuples {
+		if !drop[tupleKey(t)] {
+			out.Insert(t...)
+		}
+	}
+	return out, nil
+}
+
+// columnPermutation maps a's column i to b's column perm[i], or errors
+// when the attribute sets differ.
+func columnPermutation(a, b *Relation) ([]int, error) {
+	if len(a.Attrs) != len(b.Attrs) {
+		return nil, fmt.Errorf("relational: %s and %s have different arity", a.Name, b.Name)
+	}
+	perm := make([]int, len(a.Attrs))
+	for i, attr := range a.Attrs {
+		j, ok := b.index[attr]
+		if !ok {
+			return nil, fmt.Errorf("relational: %s lacks attribute %q of %s", b.Name, attr, a.Name)
+		}
+		perm[i] = j
+	}
+	return perm, nil
+}
+
+func tupleKey(t []string) string {
+	key := ""
+	for i, v := range t {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	return key
+}

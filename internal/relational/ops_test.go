@@ -1,0 +1,90 @@
+package relational
+
+import "testing"
+
+func TestRename(t *testing.T) {
+	e := employees()
+	r := e.Rename("dept", "department")
+	if !r.HasAttr("department") || r.HasAttr("dept") {
+		t.Errorf("attrs = %v", r.Attrs)
+	}
+	if r.Len() != e.Len() {
+		t.Error("tuples lost")
+	}
+	// Self-rename is a copy.
+	if got := e.Rename("dept", "dept"); !Equal(got, e) {
+		t.Error("identity rename changed relation")
+	}
+}
+
+func TestRenamePanics(t *testing.T) {
+	for _, tc := range []struct{ old, new string }{
+		{"ghost", "x"},
+		{"name", "dept"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for rename %q->%q", tc.old, tc.new)
+				}
+			}()
+			employees().Rename(tc.old, tc.new)
+		}()
+	}
+}
+
+func TestUnionAndDifference(t *testing.T) {
+	a := NewRelation("a", "x", "y")
+	a.Insert("1", "p")
+	a.Insert("2", "q")
+	// Column order deliberately swapped.
+	b := NewRelation("b", "y", "x")
+	b.Insert("q", "2")
+	b.Insert("r", "3")
+
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 3 {
+		t.Errorf("union = %d tuples", u.Len())
+	}
+	d, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Value(d.Tuples()[0], "x") != "1" {
+		t.Errorf("difference = %v", d.Tuples())
+	}
+}
+
+func TestUnionIncompatible(t *testing.T) {
+	a := NewRelation("a", "x")
+	b := NewRelation("b", "y")
+	if _, err := Union(a, b); err == nil {
+		t.Error("incompatible union accepted")
+	}
+	c := NewRelation("c", "x", "y")
+	if _, err := Difference(a, c); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestUnionDifferenceAlgebra(t *testing.T) {
+	a := employees()
+	b := employees()
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(u, a) {
+		t.Error("a ∪ a != a")
+	}
+	d, err := Difference(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Error("a ∖ a not empty")
+	}
+}

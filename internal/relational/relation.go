@@ -1,0 +1,223 @@
+// Package relational implements the small in-memory relational engine the
+// paper's database reading rests on: relations over string attributes,
+// selection/projection/natural join/semijoin, and the Yannakakis
+// full-reducer + join evaluation over a join tree — the "semijoin programs"
+// whose efficiency on acyclic schemes ([2, 6, 7]) motivates the chordality
+// taxonomy.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named relation instance: an attribute list and a set of
+// tuples (rows of strings, one value per attribute). Construct with
+// NewRelation; tuples are deduplicated on insert.
+type Relation struct {
+	Name  string
+	Attrs []string
+
+	index  map[string]int
+	tuples [][]string
+	seen   map[string]bool
+}
+
+// NewRelation returns an empty relation with the given attributes.
+// Attribute names must be distinct.
+func NewRelation(name string, attrs ...string) *Relation {
+	r := &Relation{
+		Name:  name,
+		Attrs: append([]string(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+		seen:  make(map[string]bool),
+	}
+	for i, a := range attrs {
+		if _, dup := r.index[a]; dup {
+			panic(fmt.Sprintf("relational: duplicate attribute %q in %s", a, name))
+		}
+		r.index[a] = i
+	}
+	return r
+}
+
+// Insert adds a tuple. It panics when the arity is wrong (programmer
+// error); duplicate tuples are ignored.
+func (r *Relation) Insert(values ...string) {
+	if len(values) != len(r.Attrs) {
+		panic(fmt.Sprintf("relational: %s expects %d values, got %d", r.Name, len(r.Attrs), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.tuples = append(r.tuples, append([]string(nil), values...))
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples (shared; do not modify).
+func (r *Relation) Tuples() [][]string { return r.tuples }
+
+// HasAttr reports whether the relation carries the attribute.
+func (r *Relation) HasAttr(a string) bool {
+	_, ok := r.index[a]
+	return ok
+}
+
+// Value returns the value of attribute a in the given tuple.
+func (r *Relation) Value(tuple []string, a string) string {
+	i, ok := r.index[a]
+	if !ok {
+		panic(fmt.Sprintf("relational: %s has no attribute %q", r.Name, a))
+	}
+	return tuple[i]
+}
+
+// Clone returns an independent copy of r.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Attrs...)
+	for _, t := range r.tuples {
+		c.Insert(t...)
+	}
+	return c
+}
+
+// Select returns the tuples where attribute a equals v, as a new relation.
+func (r *Relation) Select(a, v string) *Relation {
+	out := NewRelation(r.Name+"_sel", r.Attrs...)
+	for _, t := range r.tuples {
+		if r.Value(t, a) == v {
+			out.Insert(t...)
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto the given attributes
+// (deduplicated).
+func (r *Relation) Project(attrs ...string) *Relation {
+	out := NewRelation(r.Name+"_proj", attrs...)
+	row := make([]string, len(attrs))
+	for _, t := range r.tuples {
+		for i, a := range attrs {
+			row[i] = r.Value(t, a)
+		}
+		out.Insert(row...)
+	}
+	return out
+}
+
+// sharedAttrs returns the attributes common to a and b, in a's order.
+func sharedAttrs(a, b *Relation) []string {
+	var out []string
+	for _, x := range a.Attrs {
+		if b.HasAttr(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// joinKey builds the key of a tuple on the given attributes.
+func joinKey(r *Relation, t []string, attrs []string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = r.Value(t, a)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// NaturalJoin returns a ⋈ b: tuples agreeing on all shared attributes,
+// with the union of the attribute sets (a's attributes first). With no
+// shared attributes it is the Cartesian product.
+func NaturalJoin(a, b *Relation) *Relation {
+	shared := sharedAttrs(a, b)
+	var extra []string
+	for _, x := range b.Attrs {
+		if !a.HasAttr(x) {
+			extra = append(extra, x)
+		}
+	}
+	out := NewRelation(a.Name+"*"+b.Name, append(append([]string(nil), a.Attrs...), extra...)...)
+	byKey := make(map[string][][]string)
+	for _, t := range b.tuples {
+		k := joinKey(b, t, shared)
+		byKey[k] = append(byKey[k], t)
+	}
+	for _, ta := range a.tuples {
+		k := joinKey(a, ta, shared)
+		for _, tb := range byKey[k] {
+			row := append([]string(nil), ta...)
+			for _, x := range extra {
+				row = append(row, b.Value(tb, x))
+			}
+			out.Insert(row...)
+		}
+	}
+	return out
+}
+
+// Semijoin returns a ⋉ b: the tuples of a that join with at least one
+// tuple of b. The attribute set is a's.
+func Semijoin(a, b *Relation) *Relation {
+	shared := sharedAttrs(a, b)
+	keys := make(map[string]bool, b.Len())
+	for _, t := range b.tuples {
+		keys[joinKey(b, t, shared)] = true
+	}
+	out := NewRelation(a.Name, a.Attrs...)
+	for _, t := range a.tuples {
+		if keys[joinKey(a, t, shared)] {
+			out.Insert(t...)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same attribute set and the
+// same tuple set (attribute order independent).
+func Equal(a, b *Relation) bool {
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	attrs := append([]string(nil), a.Attrs...)
+	sort.Strings(attrs)
+	for _, x := range attrs {
+		if !b.HasAttr(x) {
+			return false
+		}
+	}
+	canon := func(r *Relation) []string {
+		rows := make([]string, 0, r.Len())
+		for _, t := range r.tuples {
+			parts := make([]string, len(attrs))
+			for i, x := range attrs {
+				parts[i] = r.Value(t, x)
+			}
+			rows = append(rows, strings.Join(parts, "\x00"))
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	ra, rb := canon(a), canon(b)
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d tuples]", r.Name, strings.Join(r.Attrs, ", "), r.Len())
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func employees() *Relation {
+	r := NewRelation("emp", "name", "dept")
+	r.Insert("ann", "toys")
+	r.Insert("bob", "tools")
+	r.Insert("cam", "toys")
+	return r
+}
+
+func departments() *Relation {
+	r := NewRelation("dept", "dept", "floor")
+	r.Insert("toys", "1")
+	r.Insert("tools", "2")
+	r.Insert("food", "3")
+	return r
+}
+
+func TestInsertDedup(t *testing.T) {
+	r := NewRelation("r", "a")
+	r.Insert("x")
+	r.Insert("x")
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong arity")
+		}
+	}()
+	NewRelation("r", "a").Insert("x", "y")
+}
+
+func TestDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on duplicate attribute")
+		}
+	}()
+	NewRelation("r", "a", "a")
+}
+
+func TestSelectProject(t *testing.T) {
+	e := employees()
+	toys := e.Select("dept", "toys")
+	if toys.Len() != 2 {
+		t.Errorf("Select = %d tuples", toys.Len())
+	}
+	names := e.Project("dept")
+	if names.Len() != 2 { // toys, tools
+		t.Errorf("Project = %d tuples", names.Len())
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	j := NaturalJoin(employees(), departments())
+	if j.Len() != 3 {
+		t.Fatalf("join = %d tuples", j.Len())
+	}
+	for _, tu := range j.Tuples() {
+		if j.Value(tu, "dept") == "toys" && j.Value(tu, "floor") != "1" {
+			t.Error("join mixed up floors")
+		}
+	}
+	if len(j.Attrs) != 3 {
+		t.Errorf("join attrs = %v", j.Attrs)
+	}
+}
+
+func TestNaturalJoinDisjointIsProduct(t *testing.T) {
+	a := NewRelation("a", "x")
+	a.Insert("1")
+	a.Insert("2")
+	b := NewRelation("b", "y")
+	b.Insert("p")
+	b.Insert("q")
+	if got := NaturalJoin(a, b).Len(); got != 4 {
+		t.Errorf("product = %d", got)
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	s := Semijoin(employees(), departments().Select("floor", "1"))
+	if s.Len() != 2 {
+		t.Errorf("semijoin = %d tuples", s.Len())
+	}
+	// Semijoin keeps a's attributes only.
+	if len(s.Attrs) != 2 {
+		t.Errorf("semijoin attrs = %v", s.Attrs)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := employees()
+	b := employees()
+	if !Equal(a, b) {
+		t.Error("identical relations not Equal")
+	}
+	b.Insert("dee", "food")
+	if Equal(a, b) {
+		t.Error("different relations Equal")
+	}
+	// Attribute order must not matter.
+	c := NewRelation("c", "dept", "name")
+	c.Insert("toys", "ann")
+	c.Insert("tools", "bob")
+	c.Insert("toys", "cam")
+	if !Equal(a, c) {
+		t.Error("column-permuted relations should be Equal")
+	}
+}
+
+// chainDB builds a path-schema database r0(a0,a1), r1(a1,a2), … which is
+// Berge-acyclic, with random tuples.
+func chainDB(r *rand.Rand, k, rows, domain int) ([]*Relation, []int) {
+	rels := make([]*Relation, k)
+	parent := make([]int, k)
+	for i := 0; i < k; i++ {
+		rels[i] = NewRelation(fmt.Sprintf("r%d", i), fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1))
+		for j := 0; j < rows; j++ {
+			rels[i].Insert(fmt.Sprint(r.Intn(domain)), fmt.Sprint(r.Intn(domain)))
+		}
+		parent[i] = i - 1
+	}
+	parent[0] = -1
+	return rels, parent
+}
+
+func TestYannakakisEqualsNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		rels, parent := chainDB(r, 2+r.Intn(3), 3+r.Intn(6), 2+r.Intn(3))
+		want := JoinNaive(rels)
+		got, err := JoinAcyclic(rels, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("Yannakakis != naive on %v", rels)
+		}
+	}
+}
+
+func TestFullReduceRemovesDanglingTuples(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 40; iter++ {
+		rels, parent := chainDB(r, 3, 4, 3)
+		reduced, err := FullReduce(rels, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := JoinNaive(rels)
+		// Global consistency: every remaining tuple of every reduced
+		// relation appears in the full join's projection.
+		for i, red := range reduced {
+			proj := full.Project(rels[i].Attrs...)
+			for _, tu := range red.Tuples() {
+				found := false
+				for _, pt := range proj.Tuples() {
+					match := true
+					for ai, a := range red.Attrs {
+						_ = ai
+						if proj.Value(pt, a) != red.Value(tu, a) {
+							match = false
+							break
+						}
+					}
+					if match {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("dangling tuple %v survived in %s", tu, red.Name)
+				}
+			}
+		}
+		// And reduction loses no results.
+		got, err := JoinAcyclic(rels, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, full) {
+			t.Fatal("reduction changed the join result")
+		}
+	}
+}
+
+func TestFullReduceValidation(t *testing.T) {
+	rels, _ := chainDB(rand.New(rand.NewSource(1)), 3, 2, 2)
+	if _, err := FullReduce(rels, []int{-1, 0}); err == nil {
+		t.Error("short parent array accepted")
+	}
+	if _, err := FullReduce(rels, []int{1, 2, 1}); err == nil {
+		t.Error("cyclic parent array accepted")
+	}
+	if _, err := FullReduce(rels, []int{-1, 0, 7}); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestJoinAcyclicMultipleRoots(t *testing.T) {
+	a := NewRelation("a", "x")
+	a.Insert("1")
+	b := NewRelation("b", "y")
+	b.Insert("p")
+	b.Insert("q")
+	got, err := JoinAcyclic([]*Relation{a, b}, []int{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("cross-component join = %d tuples", got.Len())
+	}
+}
+
+func TestJoinNaiveEmpty(t *testing.T) {
+	if JoinNaive(nil).Len() != 0 {
+		t.Error("empty join should have no tuples")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := employees()
+	b := a.Clone()
+	b.Insert("zed", "food")
+	if a.Len() != 3 {
+		t.Error("Clone shares tuple storage")
+	}
+}

@@ -1,0 +1,116 @@
+package relational
+
+import "fmt"
+
+// JoinNaive joins the relations left to right — the baseline evaluation
+// whose intermediate results can explode on cyclic schemes.
+func JoinNaive(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		return NewRelation("empty")
+	}
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = NaturalJoin(acc, r)
+	}
+	return acc
+}
+
+// FullReduce runs the Yannakakis full reducer over a join tree given as a
+// parent array (parent[i] = index of the parent relation, -1 for roots):
+// an upward semijoin sweep (leaves to root) followed by a downward sweep
+// (root to leaves). Afterwards every relation is globally consistent — each
+// remaining tuple participates in at least one result of the full join.
+// The input relations are not modified; reduced copies are returned.
+//
+// The sweeps are the "semijoin program" of [2]: on an α-acyclic scheme a
+// full reducer of linear length exists, and a join tree provides it.
+func FullReduce(rels []*Relation, parent []int) ([]*Relation, error) {
+	n := len(rels)
+	if len(parent) != n {
+		return nil, fmt.Errorf("relational: parent array has %d entries for %d relations", len(parent), n)
+	}
+	children := make([][]int, n)
+	var roots []int
+	for i, p := range parent {
+		switch {
+		case p == -1:
+			roots = append(roots, i)
+		case p < 0 || p >= n || p == i:
+			return nil, fmt.Errorf("relational: invalid parent %d for relation %d", p, i)
+		default:
+			children[p] = append(children[p], i)
+		}
+	}
+	out := make([]*Relation, n)
+	for i, r := range rels {
+		out[i] = r.Clone()
+	}
+	// Upward: children reduce parents, deepest first (post-order).
+	var post []int
+	var walk func(int)
+	visited := make([]bool, n)
+	for _, r := range roots {
+		walk = func(i int) {
+			visited[i] = true
+			for _, c := range children[i] {
+				walk(c)
+			}
+			post = append(post, i)
+		}
+		walk(r)
+	}
+	if len(post) != n {
+		return nil, fmt.Errorf("relational: parent array is not a forest")
+	}
+	for _, i := range post {
+		if parent[i] != -1 {
+			out[parent[i]] = Semijoin(out[parent[i]], out[i])
+		}
+	}
+	// Downward: parents reduce children, pre-order.
+	for k := len(post) - 1; k >= 0; k-- {
+		i := post[k]
+		for _, c := range children[i] {
+			out[c] = Semijoin(out[c], out[i])
+		}
+	}
+	return out, nil
+}
+
+// JoinAcyclic evaluates the full join of the relations along a join tree:
+// full reduction first, then joins in post-order (children into parents),
+// so intermediate results never contain dangling tuples. Returns the full
+// join (equal to JoinNaive's result) with the efficiency profile of the
+// Yannakakis algorithm.
+func JoinAcyclic(rels []*Relation, parent []int) (*Relation, error) {
+	reduced, err := FullReduce(rels, parent)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rels)
+	children := make([][]int, n)
+	var roots []int
+	for i, p := range parent {
+		if p == -1 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	var joinUp func(i int) *Relation
+	joinUp = func(i int) *Relation {
+		acc := reduced[i]
+		for _, c := range children[i] {
+			acc = NaturalJoin(acc, joinUp(c))
+		}
+		return acc
+	}
+	if len(roots) == 0 {
+		return NewRelation("empty"), nil
+	}
+	acc := joinUp(roots[0])
+	for _, r := range roots[1:] {
+		acc = NaturalJoin(acc, joinUp(r)) // cross product across components
+	}
+	return acc, nil
+}

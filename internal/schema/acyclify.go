@@ -1,0 +1,136 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/intset"
+)
+
+// AcyclicCover is the result of Acyclify: an α-acyclic schema covering the
+// original one.
+type AcyclicCover struct {
+	// Schema has one relation per maximal clique of the triangulated
+	// attribute graph; its hypergraph is α-acyclic by construction.
+	Schema *Schema
+	// Embedding maps each original relation name to a covering relation of
+	// Schema (a clique containing all its attributes).
+	Embedding map[string]string
+	// Fill counts the attribute pairs the triangulation added — a measure
+	// of how far the original scheme was from acyclicity.
+	Fill int
+}
+
+// Acyclify builds an α-acyclic cover of the schema — the design move of
+// the paper's reference [4] (D'Atri & Moscarini) and of Beeri et al. [2]:
+// triangulate the primal (attribute) graph with the minimum-degree
+// elimination heuristic, then take the maximal cliques of the chordal
+// result as the new relation schemes. Every original relation embeds into
+// a clique, and the clique hypergraph of a chordal graph is conformal with
+// a chordal primal graph, hence α-acyclic (Definition 7).
+//
+// On an already-α-acyclic schema the fill is not necessarily zero (the
+// heuristic is not minimum-fill-optimal) but the result is still a valid
+// cover; callers should check Classify first when preservation matters.
+func (s *Schema) Acyclify() AcyclicCover {
+	h := s.Hypergraph()
+	primal := h.PrimalGraph()
+	n := primal.N()
+
+	// Minimum-degree triangulation: eliminate a minimum-degree node,
+	// completing its remaining neighbourhood with fill edges.
+	work := primal.Clone()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, n)
+	fill := 0
+	liveNeighbors := func(v int) []int {
+		var out []int
+		for _, w := range work.Neighbors(v) {
+			if alive[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	for len(order) < n {
+		best, bestDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			d := len(liveNeighbors(v))
+			if best == -1 || d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		nbr := liveNeighbors(best)
+		for i := 0; i < len(nbr); i++ {
+			for j := i + 1; j < len(nbr); j++ {
+				if !work.HasEdge(nbr[i], nbr[j]) {
+					work.AddEdge(nbr[i], nbr[j])
+					fill++
+				}
+			}
+		}
+		alive[best] = false
+		order = append(order, best)
+	}
+
+	// Candidate cliques: for each node in elimination order, itself plus
+	// its later neighbours in the filled graph; keep the maximal ones.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	var cliques []intset.Set
+	for _, v := range order {
+		c := intset.New(v)
+		for _, w := range work.Neighbors(v) {
+			if pos[w] > pos[v] {
+				c = c.Add(w)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	sort.Slice(cliques, func(i, j int) bool { return cliques[i].Len() > cliques[j].Len() })
+	var maximal []intset.Set
+	for _, c := range cliques {
+		contained := false
+		for _, m := range maximal {
+			if c.SubsetOf(m) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			maximal = append(maximal, c)
+		}
+	}
+	// Deterministic naming order.
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i].Key() < maximal[j].Key() })
+
+	rels := make([]RelScheme, len(maximal))
+	for i, c := range maximal {
+		attrs := make([]string, c.Len())
+		for j, v := range c {
+			attrs[j] = h.NodeLabel(v)
+		}
+		rels[i] = RelScheme{Name: fmt.Sprintf("clique%d", i), Attrs: attrs}
+	}
+	cover := MustNew(rels...)
+
+	embedding := make(map[string]string, len(s.Relations))
+	for ei, r := range s.Relations {
+		edge := h.Edge(ei)
+		for ci, c := range maximal {
+			if edge.SubsetOf(c) {
+				embedding[r.Name] = rels[ci].Name
+				break
+			}
+		}
+	}
+	return AcyclicCover{Schema: cover, Embedding: embedding, Fill: fill}
+}

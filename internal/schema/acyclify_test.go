@@ -1,0 +1,138 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+)
+
+func TestAcyclifyTriangle(t *testing.T) {
+	tri := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "a"}},
+	)
+	cover := tri.Acyclify()
+	if got := cover.Schema.Classify(); got == hypergraph.DegreeCyclic {
+		t.Fatalf("cover is cyclic: %v", cover.Schema)
+	}
+	if cover.Fill != 0 {
+		// The triangle's primal graph is already K3 (chordal); no fill.
+		t.Errorf("fill = %d, want 0", cover.Fill)
+	}
+	// All three relations embed into the single {a,b,c} clique.
+	if len(cover.Schema.Relations) != 1 {
+		t.Errorf("cover relations = %v", cover.Schema.Relations)
+	}
+	for _, r := range tri.Relations {
+		if cover.Embedding[r.Name] == "" {
+			t.Errorf("relation %q not embedded", r.Name)
+		}
+	}
+}
+
+func TestAcyclifyCycleNeedsFill(t *testing.T) {
+	// A 4-cycle of binary relations: primal C4 needs one fill edge.
+	c4 := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "d"}},
+		RelScheme{Name: "r4", Attrs: []string{"d", "a"}},
+	)
+	cover := c4.Acyclify()
+	if cover.Fill != 1 {
+		t.Errorf("fill = %d, want 1", cover.Fill)
+	}
+	if !cover.Schema.Hypergraph().AlphaAcyclic() {
+		t.Error("cover not alpha-acyclic")
+	}
+}
+
+func randomSchema(r *rand.Rand) *Schema {
+	nAttrs := 3 + r.Intn(5)
+	attrs := make([]string, nAttrs)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	m := 2 + r.Intn(4)
+	rels := make([]RelScheme, m)
+	for i := range rels {
+		sz := 1 + r.Intn(nAttrs)
+		perm := r.Perm(nAttrs)
+		sel := make([]string, sz)
+		for j := 0; j < sz; j++ {
+			sel[j] = attrs[perm[j]]
+		}
+		rels[i] = RelScheme{Name: fmt.Sprintf("r%d", i), Attrs: sel}
+	}
+	return MustNew(rels...)
+}
+
+func TestQuickAcyclifyProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSchema(r)
+		cover := s.Acyclify()
+		// (1) The cover is always α-acyclic.
+		if !cover.Schema.Hypergraph().AlphaAcyclic() {
+			return false
+		}
+		// (2) Every original relation embeds into its covering clique.
+		hs := s.Hypergraph()
+		hc := cover.Schema.Hypergraph()
+		for ei, rel := range s.Relations {
+			cname, ok := cover.Embedding[rel.Name]
+			if !ok {
+				return false
+			}
+			ci := cover.Schema.RelationIndex(cname)
+			if ci == -1 {
+				return false
+			}
+			// Compare as label sets.
+			orig := map[string]bool{}
+			for _, v := range hs.Edge(ei) {
+				orig[hs.NodeLabel(v)] = true
+			}
+			count := 0
+			for _, v := range hc.Edge(ci) {
+				if orig[hc.NodeLabel(v)] {
+					count++
+				}
+			}
+			if count != len(orig) {
+				return false
+			}
+		}
+		// (3) The cover mentions exactly the original attributes.
+		if len(cover.Schema.Attributes()) != len(s.Attributes()) {
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcyclifyJoinTreeUsable(t *testing.T) {
+	// The cover's join tree feeds straight into the Yannakakis machinery.
+	s := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "d"}},
+		RelScheme{Name: "r4", Attrs: []string{"d", "a"}},
+	)
+	cover := s.Acyclify()
+	parent, ok := cover.Schema.JoinTree()
+	if !ok {
+		t.Fatal("cover has no join tree")
+	}
+	if !cover.Schema.Hypergraph().VerifyJoinTree(parent) {
+		t.Error("join tree invalid")
+	}
+}

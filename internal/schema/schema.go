@@ -1,0 +1,155 @@
+// Package schema is the database-design layer: relational schemes as
+// hypergraphs (nodes = attributes, edges = relation schemes), their
+// bipartite attribute/relation graphs (the paper's representation of
+// Section 1), acyclicity-degree classification, and join-tree extraction
+// for α-acyclic schemes.
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/hypergraph"
+)
+
+// RelScheme is a named relation scheme: a relation name and its attributes.
+type RelScheme struct {
+	Name  string
+	Attrs []string
+}
+
+// Schema is a database scheme: a collection of relation schemes.
+type Schema struct {
+	Relations []RelScheme
+}
+
+// New builds a schema from name → attribute-list pairs.
+func New(relations ...RelScheme) (*Schema, error) {
+	names := map[string]bool{}
+	for _, r := range relations {
+		if r.Name == "" {
+			return nil, fmt.Errorf("schema: empty relation name")
+		}
+		if names[r.Name] {
+			return nil, fmt.Errorf("schema: duplicate relation name %q", r.Name)
+		}
+		names[r.Name] = true
+		if len(r.Attrs) == 0 {
+			return nil, fmt.Errorf("schema: relation %q has no attributes", r.Name)
+		}
+		seen := map[string]bool{}
+		for _, a := range r.Attrs {
+			if seen[a] {
+				return nil, fmt.Errorf("schema: relation %q repeats attribute %q", r.Name, a)
+			}
+			seen[a] = true
+		}
+	}
+	return &Schema{Relations: relations}, nil
+}
+
+// MustNew is New panicking on error; for fixtures.
+func MustNew(relations ...RelScheme) *Schema {
+	s, err := New(relations...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attributes returns the distinct attributes in first-appearance order.
+func (s *Schema) Attributes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range s.Relations {
+		for _, a := range r.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Hypergraph returns the scheme hypergraph: nodes are attributes, edges are
+// relation schemes.
+func (s *Schema) Hypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	for _, a := range s.Attributes() {
+		h.AddNode(a)
+	}
+	for _, r := range s.Relations {
+		ids := make([]int, len(r.Attrs))
+		for i, a := range r.Attrs {
+			ids[i] = h.MustNodeID(a)
+		}
+		h.AddEdge(r.Name, ids...)
+	}
+	return h
+}
+
+// Bipartite returns the attribute/relation bipartite graph of the scheme
+// (V1 = attributes, V2 = relations): the paper's graph representation.
+// The returned incidence carries the id mappings.
+func (s *Schema) Bipartite() bipartite.Incidence {
+	return bipartite.FromHypergraph(s.Hypergraph())
+}
+
+// Classify returns the strongest acyclicity degree of the scheme
+// hypergraph: Berge ⊂ γ ⊂ β ⊂ α ⊂ cyclic, the ladder whose graph-side
+// images Theorem 1 identifies.
+func (s *Schema) Classify() hypergraph.Degree {
+	return s.Hypergraph().Classify()
+}
+
+// JoinTree returns a join-tree parent array over the relations (index i is
+// the i-th relation of s) and true when the scheme is α-acyclic; nil and
+// false otherwise. Feed it to relational.FullReduce / JoinAcyclic.
+func (s *Schema) JoinTree() ([]int, bool) {
+	return s.Hypergraph().JoinTree()
+}
+
+// RelationIndex returns the index of the named relation, or -1.
+func (s *Schema) RelationIndex(name string) int {
+	for i, r := range s.Relations {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CoveringRelations returns the relation names whose schemes contain the
+// attribute.
+func (s *Schema) CoveringRelations(attr string) []string {
+	var out []string
+	for _, r := range s.Relations {
+		for _, a := range r.Attrs {
+			if a == attr {
+				out = append(out, r.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the schema compactly.
+func (s *Schema) String() string {
+	out := "schema{"
+	for i, r := range s.Relations {
+		if i > 0 {
+			out += "; "
+		}
+		out += r.Name + "("
+		for j, a := range r.Attrs {
+			if j > 0 {
+				out += ","
+			}
+			out += a
+		}
+		out += ")"
+	}
+	return out + "}"
+}

@@ -1,0 +1,133 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// company is the α-acyclic running example.
+func company() *Schema {
+	return MustNew(
+		RelScheme{Name: "emp", Attrs: []string{"name", "dept", "salary"}},
+		RelScheme{Name: "dept", Attrs: []string{"dept", "floor"}},
+		RelScheme{Name: "floorplan", Attrs: []string{"floor", "area"}},
+	)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(RelScheme{Name: "", Attrs: []string{"a"}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(RelScheme{Name: "r", Attrs: nil}); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, err := New(
+		RelScheme{Name: "r", Attrs: []string{"a"}},
+		RelScheme{Name: "r", Attrs: []string{"b"}},
+	); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := New(RelScheme{Name: "r", Attrs: []string{"a", "a"}}); err == nil {
+		t.Error("repeated attribute accepted")
+	}
+}
+
+func TestAttributesOrder(t *testing.T) {
+	s := company()
+	attrs := s.Attributes()
+	want := []string{"name", "dept", "salary", "floor", "area"}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("attrs[%d] = %q, want %q", i, attrs[i], want[i])
+		}
+	}
+}
+
+func TestHypergraphShape(t *testing.T) {
+	h := company().Hypergraph()
+	if h.N() != 5 || h.M() != 3 {
+		t.Fatalf("n=%d m=%d", h.N(), h.M())
+	}
+	if h.EdgeName(0) != "emp" {
+		t.Error("edge names lost")
+	}
+}
+
+func TestClassifyLadder(t *testing.T) {
+	// The chain schema is gamma-acyclic (pairwise single-attribute links,
+	// tree shape) — indeed Berge-acyclic.
+	if got := company().Classify(); got != hypergraph.DegreeBerge {
+		t.Errorf("company Classify = %v", got)
+	}
+	// A triangle of binary relations is cyclic.
+	tri := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "a"}},
+	)
+	if got := tri.Classify(); got != hypergraph.DegreeCyclic {
+		t.Errorf("triangle Classify = %v", got)
+	}
+	// Covering the triangle with a universal relation makes it α-acyclic
+	// only.
+	cov := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "a"}},
+		RelScheme{Name: "all", Attrs: []string{"a", "b", "c"}},
+	)
+	if got := cov.Classify(); got != hypergraph.DegreeAlpha {
+		t.Errorf("covered triangle Classify = %v", got)
+	}
+}
+
+func TestJoinTree(t *testing.T) {
+	s := company()
+	parent, ok := s.JoinTree()
+	if !ok || len(parent) != 3 {
+		t.Fatalf("JoinTree: %v %v", parent, ok)
+	}
+	if !s.Hypergraph().VerifyJoinTree(parent) {
+		t.Error("join tree invalid")
+	}
+	tri := MustNew(
+		RelScheme{Name: "r1", Attrs: []string{"a", "b"}},
+		RelScheme{Name: "r2", Attrs: []string{"b", "c"}},
+		RelScheme{Name: "r3", Attrs: []string{"c", "a"}},
+	)
+	if _, ok := tri.JoinTree(); ok {
+		t.Error("cyclic schema produced a join tree")
+	}
+}
+
+func TestBipartiteView(t *testing.T) {
+	inc := company().Bipartite()
+	if got := len(inc.B.V1()); got != 5 {
+		t.Errorf("V1 = %d attrs", got)
+	}
+	if got := len(inc.B.V2()); got != 3 {
+		t.Errorf("V2 = %d relations", got)
+	}
+	// emp has 3 attributes.
+	if got := inc.B.G().Degree(inc.EdgeID[0]); got != 3 {
+		t.Errorf("deg(emp) = %d", got)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := company()
+	if s.RelationIndex("dept") != 1 || s.RelationIndex("nope") != -1 {
+		t.Error("RelationIndex wrong")
+	}
+	cover := s.CoveringRelations("floor")
+	if len(cover) != 2 {
+		t.Errorf("CoveringRelations(floor) = %v", cover)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}

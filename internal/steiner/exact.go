@@ -1,0 +1,162 @@
+package steiner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// Exact solves the node-minimum Steiner problem exactly with the
+// Dreyfus–Wagner dynamic program over terminal subsets. With unit edge
+// weights a tree on t nodes has t−1 edges, so minimizing edges minimizes
+// nodes. Complexity O(3^k·n + 2^k·n²) for k terminals — exponential in k,
+// as Theorem 2's NP-completeness predicts for the general case; keep k
+// modest.
+func Exact(g *graph.Graph, terminals []int) (Tree, error) {
+	ts := intset.FromSlice(terminals)
+	if ts.Len() == 0 {
+		return Tree{}, fmt.Errorf("steiner: empty terminal set")
+	}
+	if ts.Len() == 1 {
+		return Tree{Nodes: ts.Clone()}, nil
+	}
+	if ts.Len() > 20 {
+		return Tree{}, fmt.Errorf("steiner: %d terminals exceed the exact solver's limit", ts.Len())
+	}
+	n := g.N()
+	// All-pairs BFS distances from every node (only needed rows are all
+	// rows, since intermediate Steiner points may be anywhere).
+	dist := make([][]int, n)
+	for v := 0; v < n; v++ {
+		dist[v] = g.BFSDistances(v)
+	}
+	for _, t := range ts[1:] {
+		if dist[ts[0]][t] == -1 {
+			return Tree{}, ErrDisconnectedTerminals
+		}
+	}
+
+	k := ts.Len() - 1 // subsets range over ts[0..k-1]; ts[k] is the root
+	root := ts[k]
+	const inf = math.MaxInt32
+	size := 1 << uint(k)
+	dp := make([][]int32, size)
+	// choice records reconstruction info: for dp[S][v],
+	//   choice[S][v] = -1-u   → tree is dp[S][u] plus the path u..v
+	//   choice[S][v] = T ≥ 1  → tree merges dp[T][v] and dp[S∖T][v]
+	//   choice[S][v] = 0      → base case (S singleton, path t..v)
+	choice := make([][]int32, size)
+	for s := 1; s < size; s++ {
+		dp[s] = make([]int32, n)
+		choice[s] = make([]int32, n)
+		for v := range dp[s] {
+			dp[s][v] = inf
+		}
+	}
+	for i := 0; i < k; i++ {
+		t := ts[i]
+		s := 1 << uint(i)
+		for v := 0; v < n; v++ {
+			if d := dist[t][v]; d >= 0 {
+				dp[s][v] = int32(d)
+			}
+		}
+	}
+	for s := 1; s < size; s++ {
+		if s&(s-1) == 0 {
+			continue // singleton: base case done
+		}
+		// Merge step: split S at v.
+		for v := 0; v < n; v++ {
+			for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+				if sub < s-sub {
+					break // each unordered split once
+				}
+				if dp[sub][v] < inf && dp[s&^sub][v] < inf {
+					if c := dp[sub][v] + dp[s&^sub][v]; c < dp[s][v] {
+						dp[s][v] = c
+						choice[s][v] = int32(sub)
+					}
+				}
+			}
+		}
+		// Grow step: attach a path u..v. With unit weights a Bellman-style
+		// relaxation over precomputed distances is O(n²).
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v || dp[s][u] >= inf || dist[u][v] < 0 {
+					continue
+				}
+				if c := dp[s][u] + int32(dist[u][v]); c < dp[s][v] {
+					dp[s][v] = c
+					choice[s][v] = int32(-1 - u)
+				}
+			}
+		}
+	}
+	full := size - 1
+	if dp[full][root] >= inf {
+		return Tree{}, ErrDisconnectedTerminals
+	}
+
+	// Reconstruct the node set.
+	nodes := map[int]bool{}
+	var rec func(s int, v int)
+	rec = func(s int, v int) {
+		nodes[v] = true
+		if s&(s-1) == 0 {
+			// Singleton: path from its terminal to v.
+			var ti int
+			for i := 0; i < k; i++ {
+				if s == 1<<uint(i) {
+					ti = ts[i]
+				}
+			}
+			for _, x := range g.ShortestPath(ti, v) {
+				nodes[x] = true
+			}
+			return
+		}
+		c := choice[s][v]
+		if c < 0 {
+			u := int(-1 - c)
+			for _, x := range g.ShortestPath(u, v) {
+				nodes[x] = true
+			}
+			rec(s, u)
+			return
+		}
+		rec(int(c), v)
+		rec(s&^int(c), v)
+	}
+	rec(full, root)
+
+	// The union of reconstruction paths has at most dp[full][root]+1
+	// nodes, and no cover of the terminals can have fewer (cost = minimum
+	// edge count = minimum node count − 1), so a spanning tree of the
+	// union is a minimum Steiner tree.
+	alive := make([]bool, n)
+	for v := range nodes {
+		alive[v] = true
+	}
+	tree, err := spanningTree(g, alive)
+	if err != nil {
+		return Tree{}, err
+	}
+	if got, want := tree.Nodes.Len(), int(dp[full][root])+1; got > want {
+		return Tree{}, fmt.Errorf("steiner: reconstruction produced %d nodes for cost %d (internal error)", got, want-1)
+	}
+	return tree, nil
+}
+
+// ExactCost returns only the minimum number of nodes of a Steiner tree, or
+// -1 when the terminals are disconnected.
+func ExactCost(g *graph.Graph, terminals []int) int {
+	tree, err := Exact(g, terminals)
+	if err != nil {
+		return -1
+	}
+	return tree.Nodes.Len()
+}

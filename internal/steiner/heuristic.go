@@ -1,0 +1,82 @@
+package steiner
+
+import (
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// Approximate computes a Steiner tree with the classical metric-closure
+// heuristic: build the complete graph over the terminals weighted by
+// shortest-path distance, take a minimum spanning tree of it, expand each
+// MST edge into an actual shortest path, and prune redundant nodes. The
+// node count is at most 2× optimal (the usual 2-approximation bound carries
+// over to node counts on unit weights, up to the additive terminal count).
+//
+// This is the fallback the library uses where the paper proves the problem
+// NP-hard and no chordality condition rescues it.
+func Approximate(g *graph.Graph, terminals []int) (Tree, error) {
+	ts := intset.FromSlice(terminals)
+	if _, err := componentAlive(g, terminals); err != nil {
+		return Tree{}, err
+	}
+	if ts.Len() == 1 {
+		return Tree{Nodes: ts.Clone()}, nil
+	}
+	k := ts.Len()
+	dist := make([][]int, k)
+	for i, t := range ts {
+		dist[i] = g.BFSDistances(t)
+	}
+	// Prim MST over the terminal metric closure.
+	inTree := make([]bool, k)
+	best := make([]int, k)
+	bestTo := make([]int, k)
+	for i := range best {
+		best[i] = 1 << 30
+	}
+	best[0] = 0
+	bestTo[0] = -1
+	nodes := map[int]bool{}
+	for picked := 0; picked < k; picked++ {
+		sel := -1
+		for i := 0; i < k; i++ {
+			if !inTree[i] && (sel == -1 || best[i] < best[sel]) {
+				sel = i
+			}
+		}
+		inTree[sel] = true
+		if bestTo[sel] >= 0 {
+			for _, v := range g.ShortestPath(ts[bestTo[sel]], ts[sel]) {
+				nodes[v] = true
+			}
+		} else {
+			nodes[ts[sel]] = true
+		}
+		for i := 0; i < k; i++ {
+			if !inTree[i] && dist[sel][ts[i]] >= 0 && dist[sel][ts[i]] < best[i] {
+				best[i] = dist[sel][ts[i]]
+				bestTo[i] = sel
+			}
+		}
+	}
+	// Prune: drop nodes whose removal keeps a cover (single pass, largest
+	// ids first for determinism).
+	alive := make([]bool, g.N())
+	var order []int
+	for v := range nodes {
+		alive[v] = true
+		order = append(order, v)
+	}
+	order = intset.FromSlice(order)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if ts.Contains(v) {
+			continue
+		}
+		alive[v] = false
+		if !g.Covers(alive, terminals) {
+			alive[v] = true
+		}
+	}
+	return spanningTree(g, alive)
+}

@@ -1,0 +1,169 @@
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+)
+
+// X3CInstance is an instance of exact cover by 3-sets: a universe X of 3q
+// elements (0 … 3q−1) and a collection of 3-element subsets. X3C is
+// NP-complete [Garey & Johnson]; Theorem 2 reduces it to the Steiner
+// problem on V1-chordal, V1-conformal bipartite graphs.
+type X3CInstance struct {
+	Q       int      // |X| = 3q
+	Triples [][3]int // the collection C
+}
+
+// Validate checks element ranges.
+func (x X3CInstance) Validate() error {
+	if x.Q <= 0 {
+		return fmt.Errorf("x3c: q must be positive")
+	}
+	for i, t := range x.Triples {
+		seen := map[int]bool{}
+		for _, e := range t {
+			if e < 0 || e >= 3*x.Q {
+				return fmt.Errorf("x3c: triple %d element %d out of range [0, %d)", i, e, 3*x.Q)
+			}
+			if seen[e] {
+				return fmt.Errorf("x3c: triple %d repeats element %d", i, e)
+			}
+			seen[e] = true
+		}
+	}
+	return nil
+}
+
+// Solve decides the instance by depth-first search over elements: the
+// lowest uncovered element must be covered by exactly one chosen triple.
+// Exponential, reference use only.
+func (x X3CInstance) Solve() bool {
+	covered := make([]bool, 3*x.Q)
+	byElem := make([][]int, 3*x.Q)
+	for i, t := range x.Triples {
+		for _, e := range t {
+			byElem[e] = append(byElem[e], i)
+		}
+	}
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		first := -1
+		for e := 0; e < 3*x.Q; e++ {
+			if !covered[e] {
+				first = e
+				break
+			}
+		}
+		for _, ti := range byElem[first] {
+			t := x.Triples[ti]
+			ok := true
+			for _, e := range t {
+				if covered[e] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, e := range t {
+				covered[e] = true
+			}
+			if rec(remaining - 3) {
+				return true
+			}
+			for _, e := range t {
+				covered[e] = false
+			}
+		}
+		return false
+	}
+	return rec(3 * x.Q)
+}
+
+// X3CReduction is the Theorem 2 gadget built from an X3C instance (Fig 6).
+type X3CReduction struct {
+	B         *bipartite.Graph
+	Terminals []int // P = V2 (the hub u′ and every element node)
+	Budget    int   // 4q+1: a tree over P with ≤ Budget nodes exists iff
+	// the X3C instance is solvable
+	Hub      int   // the u′ node
+	Elements []int // element V2 nodes, indexed by element
+	TripleVs []int // triple V1 nodes, indexed by triple
+}
+
+// ReduceX3C builds the bipartite gadget of Theorem 2:
+//
+//	V1 = {u_i : one node per triple c_i}
+//	V2 = {u′} ∪ {x_j : one node per element}
+//	A  = {(u′, u_i) for every i} ∪ {(x_j, u_i) iff x_j ∈ c_i}
+//
+// The gadget is V1-chordal and V1-conformal (u′'s hyperedge contains every
+// H¹ node), P = V2, and a tree over P with at most 4q+1 nodes exists iff
+// the instance has an exact 3-cover.
+func ReduceX3C(x X3CInstance) (X3CReduction, error) {
+	if err := x.Validate(); err != nil {
+		return X3CReduction{}, err
+	}
+	b := bipartite.New()
+	red := X3CReduction{B: b, Budget: 4*x.Q + 1}
+	red.TripleVs = make([]int, len(x.Triples))
+	for i := range x.Triples {
+		red.TripleVs[i] = b.AddV1(fmt.Sprintf("c%d", i+1))
+	}
+	red.Hub = b.AddV2("u'")
+	red.Elements = make([]int, 3*x.Q)
+	for j := 0; j < 3*x.Q; j++ {
+		red.Elements[j] = b.AddV2(fmt.Sprintf("x%d", j+1))
+	}
+	for i, t := range x.Triples {
+		b.AddEdge(red.TripleVs[i], red.Hub)
+		for _, e := range t {
+			b.AddEdge(red.TripleVs[i], red.Elements[e])
+		}
+	}
+	red.Terminals = append([]int{red.Hub}, red.Elements...)
+	return red, nil
+}
+
+// CSPCReduction is the gadget of the remark after Corollary 4 (Fig 9),
+// reducing the cardinality Steiner problem in chordal graphs (CSPC, [16])
+// to the pseudo-Steiner problem with respect to V2 on V1-chordal bipartite
+// graphs.
+type CSPCReduction struct {
+	B       *bipartite.Graph
+	NodeVs  []int // V1 node per original node
+	ArcVs   []int // V2 node per original arc (subdivision points)
+	ArcList []graph.Edge
+}
+
+// ReduceCSPC subdivides every arc of g with a V2 node:
+//
+//	V1 = V(g);  V2 = {u_i : one node per arc a_i};  (u_i, v) ∈ A iff v ∈ a_i.
+//
+// H¹ of the gadget has g as its primal graph, so the gadget is V1-chordal
+// whenever g is chordal (it is not V1-conformal in general — exactly the
+// condition Theorem 4 needs and which makes the problem hard here). A
+// connected subgraph of g over P with at most q arcs exists iff the gadget
+// has a tree over P with at most q V2 nodes.
+func ReduceCSPC(g *graph.Graph) CSPCReduction {
+	b := bipartite.New()
+	red := CSPCReduction{B: b}
+	red.NodeVs = make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		red.NodeVs[v] = b.AddV1(g.Label(v))
+	}
+	for _, e := range g.Edges() {
+		w := b.AddV2(fmt.Sprintf("a(%s,%s)", g.Label(e.U), g.Label(e.V)))
+		b.AddEdge(red.NodeVs[e.U], w)
+		b.AddEdge(red.NodeVs[e.V], w)
+		red.ArcVs = append(red.ArcVs, w)
+		red.ArcList = append(red.ArcList, e)
+	}
+	return red
+}

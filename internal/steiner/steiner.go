@@ -1,0 +1,204 @@
+// Package steiner implements Section 3 of the paper: minimum covers and
+// Steiner/pseudo-Steiner trees on (bipartite) graphs.
+//
+//   - Algorithm 2 (Theorem 5): node-minimum Steiner trees on (6,2)-chordal
+//     bipartite graphs by single-pass redundant-node elimination, in
+//     O(|V|·|A|); the same elimination pass parameterized by an arbitrary
+//     ordering implements the "good ordering" machinery of Definition 11 and
+//     Corollary 5.
+//   - Algorithm 1 (Theorem 3): pseudo-Steiner trees with respect to V2 on
+//     V1-chordal, V1-conformal bipartite graphs, via the running-intersection
+//     elimination ordering of Lemma 1.
+//   - Exact baselines: the Dreyfus–Wagner dynamic program (exponential in the
+//     number of terminals) for the node-minimum Steiner problem.
+//   - A metric-closure 2-approximation heuristic, used as the fallback where
+//     the paper proves NP-hardness.
+//   - The paper's two NP-hardness reductions (Theorem 2's X3C gadget, Fig 6,
+//     and the CSPC gadget of the remarks after Corollary 4, Fig 9).
+package steiner
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// ErrDisconnectedTerminals is returned when the terminals do not lie in one
+// connected component, so no cover exists.
+var ErrDisconnectedTerminals = errors.New("steiner: terminals are not connected in the graph")
+
+// Tree is a connected subgraph returned by the solvers: the node set of a
+// cover of the terminals, plus the edges of a spanning tree of it.
+type Tree struct {
+	Nodes intset.Set
+	Edges []graph.Edge
+}
+
+// Validate checks that the tree is really a tree over the terminals in g:
+// nodes induce a connected subgraph, edges form a spanning tree of exactly
+// the node set, and every terminal is included.
+func (t Tree) Validate(g *graph.Graph, terminals []int) error {
+	alive := make([]bool, g.N())
+	for _, v := range t.Nodes {
+		alive[v] = true
+	}
+	for _, p := range terminals {
+		if !alive[p] {
+			return fmt.Errorf("steiner: terminal %s missing from tree", g.Label(p))
+		}
+	}
+	if len(t.Edges) != t.Nodes.Len()-1 {
+		return fmt.Errorf("steiner: %d edges for %d nodes is not a tree", len(t.Edges), t.Nodes.Len())
+	}
+	seen := map[graph.Edge]bool{}
+	for _, e := range t.Edges {
+		if !alive[e.U] || !alive[e.V] {
+			return fmt.Errorf("steiner: edge %v leaves the node set", e)
+		}
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("steiner: edge %v not in the graph", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("steiner: duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	// n-1 distinct valid edges + connectivity = tree; check connectivity
+	// via the edges only.
+	if t.Nodes.Len() == 0 {
+		return nil
+	}
+	adj := map[int][]int{}
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	visited := map[int]bool{t.Nodes[0]: true}
+	queue := []int{t.Nodes[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(visited) != t.Nodes.Len() {
+		return fmt.Errorf("steiner: tree edges do not connect the node set")
+	}
+	return nil
+}
+
+// CountSide returns how many tree nodes satisfy the predicate — used to
+// count V1 or V2 nodes of a cover.
+func (t Tree) CountSide(isSide func(v int) bool) int {
+	n := 0
+	for _, v := range t.Nodes {
+		if isSide(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// componentAlive returns the alive mask of the connected component of g
+// containing all terminals, or an error when they span components.
+func componentAlive(g *graph.Graph, terminals []int) ([]bool, error) {
+	if len(terminals) == 0 {
+		return nil, errors.New("steiner: empty terminal set")
+	}
+	comp := g.ComponentContaining(terminals)
+	if comp == nil {
+		return nil, ErrDisconnectedTerminals
+	}
+	alive := make([]bool, g.N())
+	for _, v := range comp {
+		alive[v] = true
+	}
+	return alive, nil
+}
+
+// spanningTree builds the Tree result for an alive cover.
+func spanningTree(g *graph.Graph, alive []bool) (Tree, error) {
+	edges, ok := g.SpanningTreeAlive(alive)
+	if !ok {
+		return Tree{}, errors.New("steiner: cover is not connected (internal error)")
+	}
+	var nodes []int
+	for v := 0; v < g.N(); v++ {
+		if alive[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	return Tree{Nodes: intset.FromSlice(nodes), Edges: edges}, nil
+}
+
+// EliminateOrdered runs the redundant-node elimination of Definition 11 in
+// one pass: nodes are visited in the given order and removed whenever the
+// terminals remain connected among themselves afterwards. Removing a node
+// may strand a pendant fragment; stranded nodes are themselves removable
+// and disappear when the pass reaches them, so the surviving subgraph is
+// exactly the terminals' component — a *nonredundant* cover (Theorem 5's
+// Step 1). One pass suffices: a kept node is a cut node separating the
+// terminals, and deleting further nodes never creates new paths, so it
+// stays one (this is also what keeps the algorithm at the O(|V|·|A|) of
+// Theorem 5). The ordering determines WHICH nonredundant cover is reached —
+// the substance of Definition 11 and Theorem 6.
+//
+// On a (6,2)-chordal bipartite graph every nonredundant cover is minimum
+// (Lemma 5), so every ordering yields a minimum cover (Corollary 5); this
+// is Algorithm 2 when the order is arbitrary. On general graphs the result
+// is only guaranteed nonredundant.
+func EliminateOrdered(g *graph.Graph, terminals []int, order []int) (Tree, error) {
+	alive, err := componentAlive(g, terminals)
+	if err != nil {
+		return Tree{}, err
+	}
+	p := intset.FromSlice(terminals)
+	for _, v := range order {
+		if v < 0 || v >= g.N() || !alive[v] || p.Contains(v) {
+			continue
+		}
+		alive[v] = false
+		if !g.TerminalsConnected(alive, terminals) {
+			alive[v] = true
+		}
+	}
+	// Nodes outside `order` (or stranded after their turn, which cannot
+	// happen for kept nodes but can for never-visited ones) may survive
+	// outside the terminals' component; restrict to it.
+	restrictToTerminalComponent(g, alive, terminals)
+	return spanningTree(g, alive)
+}
+
+// restrictToTerminalComponent clears alive flags outside the terminals'
+// connected component.
+func restrictToTerminalComponent(g *graph.Graph, alive []bool, terminals []int) {
+	if len(terminals) == 0 {
+		return
+	}
+	dist := g.BFSDistancesAlive(terminals[0], alive)
+	for v := range alive {
+		if alive[v] && dist[v] == -1 {
+			alive[v] = false
+		}
+	}
+}
+
+// Algorithm2 solves the Steiner problem on a (6,2)-chordal bipartite graph
+// (Theorem 5): it eliminates redundant nodes in id order and returns a
+// spanning tree of the resulting cover, which Lemma 5 guarantees to be
+// minimum. The precondition ((6,2)-chordality) is the caller's
+// responsibility — use chordality.Is62Chordal or core.Connector; on other
+// graphs the result is a nonredundant, possibly non-minimum, cover.
+func Algorithm2(g *graph.Graph, terminals []int) (Tree, error) {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	return EliminateOrdered(g, terminals, order)
+}

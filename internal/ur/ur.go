@@ -1,0 +1,222 @@
+// Package ur implements the universal-relation interface the paper's
+// introduction motivates ([10, 13, 14]): the user asks for a set of
+// attribute (and/or relation) names without knowing how attributes
+// aggregate into relation schemes; the system finds a minimal connection on
+// the attribute/relation bipartite graph — minimizing the number of
+// relations via Algorithm 1 when the scheme is α-acyclic — and evaluates
+// the corresponding join, Yannakakis-style when possible.
+package ur
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/relational"
+	"repro/internal/schema"
+	"repro/internal/steiner"
+)
+
+// Interface answers attribute-level queries over a populated database.
+type Interface struct {
+	Schema *schema.Schema
+	inc    bipartite.Incidence
+	conn   *core.Connector
+	db     map[string]*relational.Relation
+
+	attrNode map[string]int // attribute name -> V1 graph node
+	relNode  map[string]int // relation name  -> V2 graph node
+	nodeRel  map[int]string // V2 graph node  -> relation name
+}
+
+// New validates that every relation instance matches its scheme and builds
+// the interface. Instances may be omitted for schema-only use (Plan works,
+// Answer fails for missing relations).
+func New(s *schema.Schema, instances ...*relational.Relation) (*Interface, error) {
+	u := &Interface{
+		Schema:   s,
+		inc:      s.Bipartite(),
+		db:       make(map[string]*relational.Relation, len(instances)),
+		attrNode: make(map[string]int),
+		relNode:  make(map[string]int),
+		nodeRel:  make(map[int]string),
+	}
+	u.conn = core.New(u.inc.B)
+	// Hypergraph nodes were allocated in s.Attributes() order and edges in
+	// s.Relations order; the incidence mappings translate them to graph
+	// ids. Resolution is by id, so an attribute and a relation may share a
+	// name (queries prefer the attribute; see resolve).
+	for i, a := range s.Attributes() {
+		u.attrNode[a] = u.inc.NodeID[i]
+	}
+	for i, r := range s.Relations {
+		u.relNode[r.Name] = u.inc.EdgeID[i]
+		u.nodeRel[u.inc.EdgeID[i]] = r.Name
+	}
+	for _, r := range instances {
+		idx := s.RelationIndex(r.Name)
+		if idx == -1 {
+			return nil, fmt.Errorf("ur: instance %q has no scheme", r.Name)
+		}
+		want := s.Relations[idx].Attrs
+		if len(want) != len(r.Attrs) {
+			return nil, fmt.Errorf("ur: instance %q arity %d, scheme arity %d", r.Name, len(r.Attrs), len(want))
+		}
+		for _, a := range want {
+			if !r.HasAttr(a) {
+				return nil, fmt.Errorf("ur: instance %q missing attribute %q", r.Name, a)
+			}
+		}
+		if _, dup := u.db[r.Name]; dup {
+			return nil, fmt.Errorf("ur: duplicate instance %q", r.Name)
+		}
+		u.db[r.Name] = r
+	}
+	return u, nil
+}
+
+// Connector exposes the underlying classifier (e.g. to inspect which
+// theorem applies to the scheme).
+func (u *Interface) Connector() *core.Connector { return u.conn }
+
+// Plan is a resolved query: the connection found on the bipartite scheme
+// graph and the relations it selects.
+type Plan struct {
+	Relations  []string // relation names joined to answer the query
+	Attributes []string // the query attributes
+	Connection core.Connection
+}
+
+// resolve maps a query name to its graph node. A name that is both an
+// attribute and a relation resolves to the attribute (queries are
+// primarily attribute-level; qualify by splitting the schema if the
+// relation reading is needed).
+func (u *Interface) resolve(name string) (id int, isAttr bool, err error) {
+	if id, ok := u.attrNode[name]; ok {
+		return id, true, nil
+	}
+	if id, ok := u.relNode[name]; ok {
+		return id, false, nil
+	}
+	return 0, false, fmt.Errorf("ur: unknown attribute or relation %q", name)
+}
+
+// Plan resolves a query given as attribute and/or relation names into a
+// minimal connection (Definition 8/9): the relations of the returned plan
+// connect all query objects, minimizing the relation count when the scheme
+// class admits it.
+func (u *Interface) Plan(query []string) (Plan, error) {
+	var terminals []int
+	var attrs []string
+	for _, name := range query {
+		id, isAttr, err := u.resolve(name)
+		if err != nil {
+			return Plan{}, err
+		}
+		terminals = append(terminals, id)
+		if isAttr {
+			attrs = append(attrs, name)
+		}
+	}
+	connection, err := u.conn.Connect(terminals)
+	if err != nil {
+		return Plan{}, fmt.Errorf("ur: cannot connect %v: %w", query, err)
+	}
+	var rels []string
+	for _, v := range connection.Tree.Nodes {
+		if name, ok := u.nodeRel[v]; ok {
+			rels = append(rels, name)
+		}
+	}
+	return Plan{Relations: rels, Attributes: attrs, Connection: connection}, nil
+}
+
+// Answer plans the query and evaluates it: the selected relations are
+// joined — via the Yannakakis algorithm along a join tree when the
+// selected subscheme is α-acyclic, naively otherwise — and projected onto
+// the query attributes. Relation names in the query contribute their
+// attributes to the projection.
+func (u *Interface) Answer(query []string) (*relational.Relation, Plan, error) {
+	plan, err := u.Plan(query)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	var rels []*relational.Relation
+	var sub []schema.RelScheme
+	for _, name := range plan.Relations {
+		inst, ok := u.db[name]
+		if !ok {
+			return nil, Plan{}, fmt.Errorf("ur: no instance loaded for relation %q", name)
+		}
+		rels = append(rels, inst)
+		sub = append(sub, u.Schema.Relations[u.Schema.RelationIndex(name)])
+	}
+	if len(rels) == 0 {
+		return nil, Plan{}, fmt.Errorf("ur: query %v selects no relations", query)
+	}
+	subSchema, err := schema.New(sub...)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	var joined *relational.Relation
+	if parent, ok := subSchema.JoinTree(); ok {
+		joined, err = relational.JoinAcyclic(rels, parent)
+		if err != nil {
+			return nil, Plan{}, err
+		}
+	} else {
+		joined = relational.JoinNaive(rels)
+	}
+	// Projection attributes: the query attributes plus all attributes of
+	// relations named explicitly in the query (resolved as relations).
+	proj := append([]string(nil), plan.Attributes...)
+	seen := map[string]bool{}
+	for _, a := range proj {
+		seen[a] = true
+	}
+	for _, name := range query {
+		if _, isAttr, err := u.resolve(name); err == nil && !isAttr {
+			idx := u.Schema.RelationIndex(name)
+			for _, a := range u.Schema.Relations[idx].Attrs {
+				if !seen[a] {
+					seen[a] = true
+					proj = append(proj, a)
+				}
+			}
+		}
+	}
+	result := joined.Project(proj...)
+	result.Name = "answer"
+	return result, plan, nil
+}
+
+// Interpretations lists alternative query interpretations ranked by the
+// number of auxiliary objects, as label sets — the interactive
+// disambiguation loop of the paper's introduction.
+func (u *Interface) Interpretations(query []string, limit int) ([][]string, error) {
+	g := u.inc.B.G()
+	var terminals []int
+	for _, name := range query {
+		id, _, err := u.resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		terminals = append(terminals, id)
+	}
+	interps := u.conn.Interpretations(terminals, g.N(), limit)
+	out := make([][]string, len(interps))
+	for i, in := range interps {
+		out[i] = g.Labels(in.Nodes)
+	}
+	return out, nil
+}
+
+// PlanV2Count returns how many relations the plan uses (the quantity
+// Algorithm 1 minimizes).
+func (p Plan) PlanV2Count() int { return len(p.Relations) }
+
+// TreeSize returns the total object count of the plan's connection.
+func (p Plan) TreeSize() int { return p.Connection.Tree.Nodes.Len() }
+
+// V2Count re-exports steiner.V2Count for callers holding the incidence.
+func V2Count(b *bipartite.Graph, t steiner.Tree) int { return steiner.V2Count(b, t) }

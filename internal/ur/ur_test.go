@@ -1,0 +1,227 @@
+package ur_test
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/relational"
+	"repro/internal/schema"
+	"repro/internal/ur"
+)
+
+// companyDB builds the α-acyclic company schema with instances.
+func companyDB(t *testing.T) *ur.Interface {
+	t.Helper()
+	s := schema.MustNew(
+		schema.RelScheme{Name: "emp", Attrs: []string{"name", "dept"}},
+		schema.RelScheme{Name: "dept", Attrs: []string{"dept", "floor"}},
+		schema.RelScheme{Name: "floorplan", Attrs: []string{"floor", "area"}},
+		schema.RelScheme{Name: "badge", Attrs: []string{"name", "badgeno"}},
+	)
+	emp := relational.NewRelation("emp", "name", "dept")
+	emp.Insert("ann", "toys")
+	emp.Insert("bob", "tools")
+	dept := relational.NewRelation("dept", "dept", "floor")
+	dept.Insert("toys", "1")
+	dept.Insert("tools", "2")
+	fp := relational.NewRelation("floorplan", "floor", "area")
+	fp.Insert("1", "100")
+	fp.Insert("2", "250")
+	badge := relational.NewRelation("badge", "name", "badgeno")
+	badge.Insert("ann", "b1")
+	badge.Insert("bob", "b2")
+	u, err := ur.New(s, emp, dept, fp, badge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestSchemaIsAlphaAcyclicAndUsesAlgorithm1(t *testing.T) {
+	u := companyDB(t)
+	if got := u.Schema.Classify(); got != hypergraph.DegreeBerge {
+		t.Errorf("schema degree = %v (chain should be Berge-acyclic)", got)
+	}
+	plan, err := u.Plan([]string{"name", "area"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connecting name and area requires emp, dept, floorplan: 3 relations,
+	// and that is minimal.
+	if plan.PlanV2Count() != 3 {
+		t.Errorf("plan uses %v, want 3 relations", plan.Relations)
+	}
+	if !plan.Connection.V2Optimal {
+		t.Error("plan should be V2-optimal on this scheme")
+	}
+}
+
+func TestAnswerJoinsAndProjects(t *testing.T) {
+	u := companyDB(t)
+	res, plan, err := u.Answer([]string{"name", "area"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PlanV2Count() != 3 {
+		t.Errorf("plan relations = %v", plan.Relations)
+	}
+	want := relational.NewRelation("want", "name", "area")
+	want.Insert("ann", "100")
+	want.Insert("bob", "250")
+	if !relational.Equal(res, want) {
+		t.Errorf("answer = %v %v", res.Attrs, res.Tuples())
+	}
+}
+
+func TestAnswerSingleRelation(t *testing.T) {
+	u := companyDB(t)
+	res, plan, err := u.Answer([]string{"name", "dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PlanV2Count() != 1 || plan.Relations[0] != "emp" {
+		t.Errorf("plan = %v", plan.Relations)
+	}
+	if res.Len() != 2 {
+		t.Errorf("answer = %d tuples", res.Len())
+	}
+}
+
+func TestQueryByRelationName(t *testing.T) {
+	// "badge" is a relation-only name; "dept" is both a relation and an
+	// attribute and resolves to the attribute. Connecting the badge
+	// relation to the dept attribute goes through emp.
+	u := companyDB(t)
+	res, plan, err := u.Answer([]string{"badge", "dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PlanV2Count() != 2 {
+		t.Errorf("plan = %v, want {badge, emp}", plan.Relations)
+	}
+	// Projection carries the badge relation's attributes plus the dept
+	// attribute.
+	for _, a := range []string{"name", "badgeno", "dept"} {
+		if !res.HasAttr(a) {
+			t.Errorf("answer missing attribute %q", a)
+		}
+	}
+	if res.HasAttr("floor") {
+		t.Error("answer should not carry floor")
+	}
+}
+
+func TestUnknownNameError(t *testing.T) {
+	u := companyDB(t)
+	if _, err := u.Plan([]string{"nonsense"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := schema.MustNew(schema.RelScheme{Name: "r", Attrs: []string{"a", "b"}})
+	bad := relational.NewRelation("zzz", "a", "b")
+	if _, err := ur.New(s, bad); err == nil {
+		t.Error("instance without scheme accepted")
+	}
+	short := relational.NewRelation("r", "a")
+	if _, err := ur.New(s, short); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	misnamed := relational.NewRelation("r", "a", "c")
+	if _, err := ur.New(s, misnamed); err == nil {
+		t.Error("attribute mismatch accepted")
+	}
+	ok := relational.NewRelation("r", "a", "b")
+	if _, err := ur.New(s, ok, ok); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+}
+
+func TestInterpretationsDisambiguation(t *testing.T) {
+	// Two ways to connect name and floor: via dept (1 auxiliary relation
+	// chain) or via office (direct). The ranked list must start with the
+	// smaller reading.
+	s := schema.MustNew(
+		schema.RelScheme{Name: "emp", Attrs: []string{"name", "dept"}},
+		schema.RelScheme{Name: "dept", Attrs: []string{"dept", "floor"}},
+		schema.RelScheme{Name: "office", Attrs: []string{"name", "floor"}},
+	)
+	u, err := ur.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interps, err := u.Interpretations([]string{"name", "floor"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interps) < 2 {
+		t.Fatalf("interpretations = %v", interps)
+	}
+	if len(interps[0]) != 3 { // name, floor, office
+		t.Errorf("first interpretation = %v", interps[0])
+	}
+	found := false
+	for _, x := range interps[0] {
+		if x == "office" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("first interpretation should use office: %v", interps[0])
+	}
+}
+
+func TestAnswerWithoutInstance(t *testing.T) {
+	s := schema.MustNew(schema.RelScheme{Name: "r", Attrs: []string{"a", "b"}})
+	u, err := ur.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Answer([]string{"a", "b"}); err == nil {
+		t.Error("Answer without instance should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	u := companyDB(t)
+	if u.Connector() == nil {
+		t.Error("Connector() nil")
+	}
+	plan, err := u.Plan([]string{"name", "floor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TreeSize() < 4 {
+		t.Errorf("TreeSize = %d", plan.TreeSize())
+	}
+	inc := u.Schema.Bipartite()
+	conn, err := ur.New(u.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := conn.Plan([]string{"name", "floor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ur.V2Count(inc.B, p2.Connection.Tree); got != p2.PlanV2Count() {
+		t.Errorf("V2Count = %d, plan says %d", got, p2.PlanV2Count())
+	}
+}
+
+func TestPlanDisconnected(t *testing.T) {
+	s := schema.MustNew(
+		schema.RelScheme{Name: "r1", Attrs: []string{"a"}},
+		schema.RelScheme{Name: "r2", Attrs: []string{"b"}},
+	)
+	u, err := ur.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Plan([]string{"a", "b"}); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	if _, err := u.Interpretations([]string{"ghost"}, 1); err == nil {
+		t.Error("unknown name accepted in Interpretations")
+	}
+}

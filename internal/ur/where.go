@@ -1,0 +1,101 @@
+package ur
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/schema"
+)
+
+// Condition is an equality restriction attr = value on a query.
+type Condition struct {
+	Attr  string
+	Value string
+}
+
+// AnswerWhere answers a query with equality conditions: the condition
+// attributes join the connection terminals (the user mentioned them, so
+// the plan must reach them), selections are pushed down into every
+// selected relation carrying the attribute before the join, and the result
+// is projected onto the query names only.
+//
+// Selection pushdown before the semijoin program is the standard
+// optimization the paper's universal-relation references [13, 14] assume;
+// it keeps intermediate results proportional to the restricted data.
+func (u *Interface) AnswerWhere(query []string, conds []Condition) (*relational.Relation, Plan, error) {
+	full := append([]string(nil), query...)
+	seen := map[string]bool{}
+	for _, q := range query {
+		seen[q] = true
+	}
+	for _, c := range conds {
+		if _, ok := u.attrNode[c.Attr]; !ok {
+			return nil, Plan{}, fmt.Errorf("ur: condition on unknown attribute %q", c.Attr)
+		}
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			full = append(full, c.Attr)
+		}
+	}
+	plan, err := u.Plan(full)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	var rels []*relational.Relation
+	var sub []schema.RelScheme
+	for _, name := range plan.Relations {
+		inst, ok := u.db[name]
+		if !ok {
+			return nil, Plan{}, fmt.Errorf("ur: no instance loaded for relation %q", name)
+		}
+		// Push every applicable selection down into this relation.
+		for _, c := range conds {
+			if inst.HasAttr(c.Attr) {
+				sel := inst.Select(c.Attr, c.Value)
+				sel.Name = inst.Name
+				inst = sel
+			}
+		}
+		rels = append(rels, inst)
+		sub = append(sub, u.Schema.Relations[u.Schema.RelationIndex(name)])
+	}
+	if len(rels) == 0 {
+		return nil, Plan{}, fmt.Errorf("ur: query %v selects no relations", full)
+	}
+	subSchema, err := schema.New(sub...)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	var joined *relational.Relation
+	if parent, ok := subSchema.JoinTree(); ok {
+		joined, err = relational.JoinAcyclic(rels, parent)
+		if err != nil {
+			return nil, Plan{}, err
+		}
+	} else {
+		joined = relational.JoinNaive(rels)
+	}
+	// Project onto the original query names only (conditions restrict, the
+	// projection answers).
+	var proj []string
+	projSeen := map[string]bool{}
+	for _, name := range query {
+		if _, isAttr, err := u.resolve(name); err == nil && isAttr {
+			if !projSeen[name] {
+				projSeen[name] = true
+				proj = append(proj, name)
+			}
+		} else if err == nil {
+			idx := u.Schema.RelationIndex(name)
+			for _, a := range u.Schema.Relations[idx].Attrs {
+				if !projSeen[a] {
+					projSeen[a] = true
+					proj = append(proj, a)
+				}
+			}
+		}
+	}
+	result := joined.Project(proj...)
+	result.Name = "answer"
+	return result, plan, nil
+}

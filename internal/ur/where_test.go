@@ -1,0 +1,68 @@
+package ur_test
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/ur"
+)
+
+func TestAnswerWhereSelectsAndProjects(t *testing.T) {
+	u := companyDB(t)
+	res, plan, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "area", Value: "100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The condition attribute forces the plan out to floorplan.
+	if plan.PlanV2Count() != 3 {
+		t.Errorf("plan = %v", plan.Relations)
+	}
+	want := relational.NewRelation("want", "name")
+	want.Insert("ann")
+	if !relational.Equal(res, want) {
+		t.Errorf("answer = %v %v", res.Attrs, res.Tuples())
+	}
+}
+
+func TestAnswerWhereConditionOnQueriedAttr(t *testing.T) {
+	u := companyDB(t)
+	res, _, err := u.AnswerWhere([]string{"name", "dept"}, []ur.Condition{{Attr: "dept", Value: "toys"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("answer = %v", res.Tuples())
+	}
+	if res.Value(res.Tuples()[0], "name") != "ann" {
+		t.Errorf("answer = %v", res.Tuples())
+	}
+}
+
+func TestAnswerWhereEmptySelection(t *testing.T) {
+	u := companyDB(t)
+	res, _, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "floor", Value: "99"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("expected empty answer, got %v", res.Tuples())
+	}
+}
+
+func TestAnswerWhereUnknownAttr(t *testing.T) {
+	u := companyDB(t)
+	if _, _, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "ghost", Value: "x"}}); err == nil {
+		t.Error("unknown condition attribute accepted")
+	}
+}
+
+func TestAnswerWhereNoConditions(t *testing.T) {
+	u := companyDB(t)
+	res, _, err := u.AnswerWhere([]string{"name", "dept"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("answer = %v", res.Tuples())
+	}
+}
