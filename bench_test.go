@@ -385,3 +385,144 @@ func BenchmarkRankedCovers(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFreeze measures the one-off compilation cost of the CSR view —
+// the price paid once per scheme under the classify-once/query-many
+// contract.
+func BenchmarkFreeze(b *testing.B) {
+	for _, m := range []int{20, 80} {
+		r := rand.New(rand.NewSource(int64(m)))
+		h := gen.GammaAcyclic(r, m, 3, 3)
+		bg := bipartite.FromHypergraph(h).B
+		b.Run(fmt.Sprintf("edges=%d/V=%d", m, bg.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bg.Freeze()
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyMutableVsFrozen compares the seed classification path
+// against the compiled one (freeze cost excluded: the scheme is compiled
+// once and classified on the frozen view).
+func BenchmarkClassifyMutableVsFrozen(b *testing.B) {
+	for _, size := range []int{16, 32} {
+		r := rand.New(rand.NewSource(int64(size)))
+		g := gen.RandomBipartite(r, size, size, 0.25)
+		fg := g.Freeze()
+		b.Run(fmt.Sprintf("Mutable/n=%d", 2*size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chordality.Classify(g)
+			}
+		})
+		b.Run(fmt.Sprintf("Frozen/n=%d", 2*size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chordality.ClassifyFrozen(fg)
+			}
+		})
+	}
+}
+
+// BenchmarkSteinerMutableVsFrozen compares the per-query solver cost on the
+// two paths over one pre-compiled scheme.
+func BenchmarkSteinerMutableVsFrozen(b *testing.B) {
+	for _, m := range []int{40, 160} {
+		r := rand.New(rand.NewSource(int64(m)))
+		h := gen.GammaAcyclic(r, m, 3, 3)
+		bg := bipartite.FromHypergraph(h).B
+		g := bg.G()
+		fb := bg.Freeze()
+		terms := largestComponentEnds(g)
+		b.Run(fmt.Sprintf("Algorithm2/Mutable/edges=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := steiner.Algorithm2(g, terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Algorithm2/Frozen/edges=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := steiner.Algorithm2Frozen(fb.G(), terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{40, 160} {
+		r := rand.New(rand.NewSource(int64(m)))
+		h := gen.AlphaAcyclic(r, m, 4, 3)
+		bg := bipartite.FromHypergraph(h).B
+		fb := bg.Freeze()
+		terms := largestComponentEnds(bg.G())
+		b.Run(fmt.Sprintf("Algorithm1/Mutable/edges=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := steiner.Algorithm1(bg, terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Algorithm1/Frozen/edges=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := steiner.Algorithm1Frozen(fb, terms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// serviceWorkload builds a query mix with the paper's interactive shape:
+// a modest set of distinct terminal sets, each asked many times. Terminals
+// come from the largest component so every query runs a real solve.
+func serviceWorkload(r *rand.Rand, g *graph.Graph, distinct, total int) [][]int {
+	var comp []int
+	for _, c := range g.Components() {
+		if len(c) > len(comp) {
+			comp = c
+		}
+	}
+	base := make([][]int, distinct)
+	for i := range base {
+		base[i] = []int{
+			comp[r.Intn(len(comp))], comp[r.Intn(len(comp))], comp[r.Intn(len(comp))],
+		}
+	}
+	out := make([][]int, total)
+	for i := range out {
+		out[i] = base[r.Intn(distinct)]
+	}
+	return out
+}
+
+// BenchmarkServiceThroughput compares answering a repeated-query workload
+// sequentially on a bare Connector (the seed serving story: every query
+// from scratch) against the Service path (bounded worker pool + LRU answer
+// cache over the frozen scheme).
+func BenchmarkServiceThroughput(b *testing.B) {
+	r := rand.New(rand.NewSource(97))
+	h := gen.GammaAcyclic(r, 60, 3, 3)
+	bg := bipartite.FromHypergraph(h).B
+	conn := core.New(bg)
+	queries := serviceWorkload(r, bg.G(), 16, 256)
+	b.Run("SequentialUncached/q=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				conn.Connect(q) // errors included in the workload
+			}
+		}
+	})
+	b.Run("BatchedCached/q=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := core.NewService(conn, 0, 0) // fresh cache each round
+			svc.ConnectBatch(queries)
+		}
+	})
+	b.Run("BatchedWarmCache/q=256", func(b *testing.B) {
+		svc := core.NewService(conn, 0, 0)
+		svc.ConnectBatch(queries)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.ConnectBatch(queries)
+		}
+	})
+}

@@ -11,18 +11,36 @@
 //	a := b.AddV1("attribute")             // V1 = attributes
 //	r := b.AddV2("relation")              // V2 = relation schemes
 //	b.AddEdge(a, r)
-//	conn := chordal.NewConnector(b)       // classify once (Theorem 1)
+//	conn := chordal.NewConnector(b)       // compile + classify once (Theorem 1)
 //	answer, err := conn.Connect([]int{a, r})
+//
+// The classify-once/query-many contract is realized by a compiled scheme
+// pipeline: NewConnector freezes the scheme into an immutable CSR
+// (compressed sparse row) view — flat offset/neighbor arrays plus a bitset
+// adjacency matrix for dense O(1) edge probes — classifies that view, and
+// answers every query on frozen-path solvers that only read it. Freeze a
+// graph yourself (Freeze, FreezeGraph) when you want to share one compiled
+// scheme across goroutines, and wrap a Connector in a Service (NewService)
+// to serve concurrent traffic: batched fan-out over a bounded worker pool
+// and an LRU answer cache keyed on the canonical terminal set:
+//
+//	svc := chordal.NewService(conn, 0, 0)      // default workers + cache
+//	results := svc.ConnectBatch(queries)       // answers in query order
 //
 // Subsystem map (all within this module):
 //
-//	internal/graph       graphs, traversal, covers
-//	internal/bipartite   (V1,V2) graphs ⇄ hypergraphs (Definition 2)
+//	internal/graph       graphs, traversal, covers; Freeze → immutable CSR
+//	                     view (Frozen) safe for concurrent readers
+//	internal/bipartite   (V1,V2) graphs ⇄ hypergraphs (Definition 2);
+//	                     frozen bipartite view (partition over the CSR)
 //	internal/hypergraph  dual, primal, GYO, Berge/γ/β/α recognizers
-//	internal/chordality  (4,1)/(6,2)/(6,1)/Vi-chordality recognizers
+//	internal/chordality  (4,1)/(6,2)/(6,1)/Vi-chordality recognizers,
+//	                     mutable and frozen paths
 //	internal/steiner     Algorithms 1–2, exact and heuristic baselines,
+//	                     frozen-path ports of all four solvers,
 //	                     the X3C and CSPC hardness gadgets
-//	internal/core        classification + algorithm dispatch + ranking
+//	internal/core        frozen-view classification + algorithm dispatch +
+//	                     ranking + the concurrent, cached Service
 //	internal/relational  relations, joins, semijoins, Yannakakis
 //	internal/schema      relational schemes as hypergraphs
 //	internal/ur          universal-relation interface
@@ -62,6 +80,16 @@ type (
 	Connection = core.Connection
 	// Tree is a connection tree (cover node set + spanning tree edges).
 	Tree = steiner.Tree
+	// FrozenGraph is the immutable CSR view of a Graph.
+	FrozenGraph = graph.Frozen
+	// FrozenBipartite is the immutable compiled view of a Bipartite.
+	FrozenBipartite = bipartite.Frozen
+	// Service serves cached, concurrent connection queries over one scheme.
+	Service = core.Service
+	// BatchResult is one answer of Service.ConnectBatch.
+	BatchResult = core.BatchResult
+	// CacheStats is a snapshot of a Service's answer cache.
+	CacheStats = core.CacheStats
 )
 
 // NewGraph returns an empty graph.
@@ -73,11 +101,29 @@ func NewBipartite() *Bipartite { return bipartite.New() }
 // NewHypergraph returns an empty hypergraph.
 func NewHypergraph() *Hypergraph { return hypergraph.New() }
 
-// NewConnector classifies the scheme once and returns a query answerer.
+// NewConnector compiles and classifies the scheme once and returns a query
+// answerer; b must not be mutated afterwards.
 func NewConnector(b *Bipartite) *Connector { return core.New(b) }
+
+// NewService wraps a Connector for concurrent serving: a bounded worker
+// pool for ConnectBatch plus an LRU answer cache. Non-positive workers or
+// cacheSize select the defaults (GOMAXPROCS, core.DefaultCacheSize).
+func NewService(c *Connector, workers, cacheSize int) *Service {
+	return core.NewService(c, workers, cacheSize)
+}
+
+// Freeze compiles a bipartite scheme into its immutable view, safe for
+// unsynchronized concurrent readers.
+func Freeze(b *Bipartite) *FrozenBipartite { return b.Freeze() }
+
+// FreezeGraph compiles a graph into its immutable CSR view.
+func FreezeGraph(g *Graph) *FrozenGraph { return g.Freeze() }
 
 // Classify runs every chordality recognizer on b (Theorem 1 taxonomy).
 func Classify(b *Bipartite) Class { return chordality.Classify(b) }
+
+// ClassifyFrozen runs every chordality recognizer on a compiled scheme.
+func ClassifyFrozen(fb *FrozenBipartite) Class { return chordality.ClassifyFrozen(fb) }
 
 // FromHypergraph returns the bipartite incidence graph of h.
 func FromHypergraph(h *Hypergraph) *Bipartite { return bipartite.FromHypergraph(h).B }

@@ -3,18 +3,29 @@
 // chordality, Vi-chordality and Vi-conformity, and the acyclicity degrees
 // of both associated hypergraphs, with witnesses where available.
 //
+// It can also serve minimal-connection query batches: with -batch the
+// scheme is compiled once (frozen CSR view + classification) and the
+// queries are answered concurrently through the cached core.Service.
+//
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
+//	chordalctl -batch queries.txt [-workers n] [file]
 //
-// Reads the graph from the file or standard input. See internal/graphio
-// for the format.
+// Reads the graph from the file or standard input ("-batch -" reads the
+// queries from standard input instead; the graph must then come from a
+// file). Each query line lists the terminal node labels of one query,
+// whitespace-separated ('#' starts a comment). See internal/graphio for
+// the graph format.
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -31,13 +42,30 @@ func main() {
 // run implements the tool; factored out of main for tests.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	hyper, jsonOut := false, false
+	batch, workers := "", 0
 	var files []string
-	for _, a := range args {
-		switch a {
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
 		case "-hypergraph", "--hypergraph":
 			hyper = true
 		case "-json", "--json":
 			jsonOut = true
+		case "-batch", "--batch":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-batch needs a query file argument")
+			}
+			batch = args[i]
+		case "-workers", "--workers":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-workers needs a count argument")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-workers: %v", err)
+			}
+			workers = n
 		default:
 			files = append(files, a)
 		}
@@ -66,6 +94,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
+	if batch != "" {
+		qin := stdin
+		if batch != "-" {
+			qf, err := os.Open(batch)
+			if err != nil {
+				return err
+			}
+			defer qf.Close()
+			qin = qf
+		} else if len(files) == 0 {
+			return fmt.Errorf("-batch -: queries on stdin require the graph from a file")
+		}
+		return runBatch(b, qin, stdout, workers)
+	}
+
 	if jsonOut {
 		return graphio.WriteReport(stdout, b)
 	}
@@ -80,6 +123,58 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "H2 (nodes=V2, edges=V1 neighbourhoods): %s\n", h2.Classify())
 	printWitnesses(stdout, "H1", h1)
 	printWitnesses(stdout, "H2", h2)
+	return nil
+}
+
+// runBatch compiles the scheme once and answers every query line
+// concurrently through a cached core.Service, printing the answers in
+// query order.
+func runBatch(b *bipartite.Graph, queries io.Reader, stdout io.Writer, workers int) error {
+	conn := core.New(b)
+	svc := core.NewService(conn, workers, 0)
+
+	var terms [][]int
+	var lines []string
+	sc := bufio.NewScanner(queries)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		labels := strings.Fields(line)
+		if len(labels) == 0 {
+			continue
+		}
+		q := make([]int, len(labels))
+		for i, l := range labels {
+			id, ok := b.G().ID(l)
+			if !ok {
+				return fmt.Errorf("query line %d: unknown node label %q", lineNo, l)
+			}
+			q[i] = id
+		}
+		terms = append(terms, q)
+		lines = append(lines, strings.Join(labels, " "))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	results := svc.ConnectBatch(terms)
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(stdout, "query %d [%s]: error: %v\n", i+1, lines[i], r.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "query %d [%s]: method=%s nodes=%d {%s}\n",
+			i+1, lines[i], r.Conn.Method, r.Conn.Tree.Nodes.Len(),
+			strings.Join(b.G().Labels(r.Conn.Tree.Nodes), " "))
+	}
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "answered %d queries (%d cache hits, %d misses)\n",
+		len(results), st.Hits, st.Misses)
 	return nil
 }
 

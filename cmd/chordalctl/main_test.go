@@ -86,3 +86,69 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	qpath := filepath.Join(dir, "queries.txt")
+	queries := `
+A C          # one minimal-connection query per line
+A B C
+A C          # duplicate: answered from the cache
+`
+	if err := os.WriteFile(qpath, []byte(queries), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-batch", qpath, "-workers", "2"}, strings.NewReader(fig3cInput), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"query 1 [A C]:",
+		"query 2 [A B C]:",
+		"query 3 [A C]:",
+		"answered 3 queries (1 cache hits, 2 misses)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("batch output missing %q:\n%s", want, s)
+		}
+	}
+	// Identical queries must print identical answers.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if got1, got3 := strings.TrimPrefix(lines[0], "query 1 "), strings.TrimPrefix(lines[2], "query 3 "); got1 != got3 {
+		t.Errorf("duplicate queries answered differently:\n%s\n%s", got1, got3)
+	}
+}
+
+func TestRunBatchQueriesOnStdin(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(gpath, []byte(fig3cInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-batch", "-", gpath}, strings.NewReader("A C\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answered 1 queries") {
+		t.Errorf("stdin batch output unexpected:\n%s", out.String())
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	qpath := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(qpath, []byte("A NOPE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-batch", qpath}, strings.NewReader(fig3cInput), &out); err == nil {
+		t.Error("unknown query label accepted")
+	}
+	if err := run([]string{"-batch"}, strings.NewReader(fig3cInput), &out); err == nil {
+		t.Error("-batch without argument accepted")
+	}
+	if err := run([]string{"-batch", "-"}, strings.NewReader(fig3cInput), &out); err == nil {
+		t.Error("-batch - without a graph file accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package chordality
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/gen"
+)
+
+// TestClassifyFrozenMatchesMutable is the classification half of the
+// frozen-path equivalence contract: every recognizer verdict must be
+// identical between Classify and ClassifyFrozen.
+func TestClassifyFrozenMatchesMutable(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var cases []*bipartite.Graph
+	for trial := 0; trial < 12; trial++ {
+		cases = append(cases, gen.RandomBipartite(r, 2+r.Intn(9), 2+r.Intn(9), 0.3))
+	}
+	for m := 4; m <= 12; m += 4 {
+		cases = append(cases,
+			bipartite.FromHypergraph(gen.AlphaAcyclic(r, m, 3, 2)).B,
+			bipartite.FromHypergraph(gen.GammaAcyclic(r, m, 3, 2)).B,
+			bipartite.FromHypergraph(gen.BergeForest(r, m, 3)).B,
+		)
+	}
+	cases = append(cases, gen.RandomTree(r, 9), gen.CompleteBipartite(3, 4), gen.GridBipartite(3, 3))
+	for i, b := range cases {
+		want := Classify(b)
+		got := ClassifyFrozen(b.Freeze())
+		if got != want {
+			t.Errorf("case %d: ClassifyFrozen = %+v, Classify = %+v", i, got, want)
+		}
+	}
+}
+
+func TestFrozenPEOMatchesMutable(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		var g = gen.RandomGraph(r, 3+r.Intn(20), 0.3)
+		if trial%3 == 0 {
+			g = gen.RandomChordalGraph(r, 3+r.Intn(20), 3)
+		}
+		f := g.Freeze()
+		wantOrder, wantOK := PerfectEliminationOrder(g)
+		gotOrder, gotOK := PerfectEliminationOrderFrozen(f)
+		if wantOK != gotOK {
+			t.Fatalf("trial %d: chordality verdict differs (frozen %v, mutable %v)", trial, gotOK, wantOK)
+		}
+		if wantOK {
+			for i := range wantOrder {
+				if wantOrder[i] != gotOrder[i] {
+					t.Fatalf("trial %d: PEO differs at %d", trial, i)
+				}
+			}
+		}
+		mcsWant, mcsGot := MCSOrder(g), MCSOrderFrozen(f)
+		for i := range mcsWant {
+			if mcsWant[i] != mcsGot[i] {
+				t.Fatalf("trial %d: MCS order differs at %d", trial, i)
+			}
+		}
+		if IsChordalFrozen(f) != IsChordal(g) {
+			t.Fatalf("trial %d: IsChordal differs", trial)
+		}
+	}
+}

@@ -15,6 +15,21 @@
 //
 // Connector also enumerates ranked alternative interpretations of a query
 // (the interactive-disambiguation loop sketched in the introduction).
+//
+// # Frozen-view serving architecture
+//
+// New compiles the scheme once: it freezes the bipartite graph into the
+// immutable CSR view of internal/graph and internal/bipartite, classifies
+// that view (chordality.ClassifyFrozen), and answers every Connect on the
+// frozen-path solvers of internal/steiner. Because the frozen view and the
+// classification never change, a Connector is safe for unsynchronized
+// concurrent Connect calls — the scheme passed to New must simply not be
+// mutated afterwards (the classify-once contract).
+//
+// Service wraps a Connector for query-many workloads: ConnectBatch fans a
+// query batch out over a bounded worker pool, and an LRU cache keyed on the
+// canonical terminal set makes repeated or overlapping queries (the paper's
+// interactive-disambiguation loop) cache hits instead of Steiner reruns.
 package core
 
 import (
@@ -61,18 +76,23 @@ type Connection struct {
 	Rationale string // which classification/theorem justified the method
 }
 
-// Connector answers minimal-connection queries over a fixed scheme.
+// Connector answers minimal-connection queries over a fixed scheme. It is
+// built on the frozen CSR view, so concurrent Connect calls need no
+// synchronization; the scheme must not be mutated after New.
 type Connector struct {
 	b     *bipartite.Graph
+	fb    *bipartite.Frozen
 	class chordality.Class
 	// ExactLimit bounds the terminal count for which the exact solver is
 	// used on hard classes; above it the heuristic answers. Default 12.
 	ExactLimit int
 }
 
-// New classifies the scheme once (polynomial) and returns a Connector.
+// New compiles the scheme once — freeze + classify, both polynomial — and
+// returns a Connector answering queries on the frozen view.
 func New(b *bipartite.Graph) *Connector {
-	return &Connector{b: b, class: chordality.Classify(b), ExactLimit: 12}
+	fb := b.Freeze()
+	return &Connector{b: b, fb: fb, class: chordality.ClassifyFrozen(fb), ExactLimit: 12}
 }
 
 // Class returns the scheme's chordality classification.
@@ -81,12 +101,15 @@ func (c *Connector) Class() chordality.Class { return c.class }
 // Graph returns the underlying bipartite scheme.
 func (c *Connector) Graph() *bipartite.Graph { return c.b }
 
+// Frozen returns the compiled scheme view queries are answered on.
+func (c *Connector) Frozen() *bipartite.Frozen { return c.fb }
+
 // Connect returns a minimal connection over the terminals, dispatched by
 // the scheme's class.
 func (c *Connector) Connect(terminals []int) (Connection, error) {
 	switch {
 	case c.class.Chordal62:
-		tree, err := steiner.Algorithm2(c.b.G(), terminals)
+		tree, err := steiner.Algorithm2Frozen(c.fb.G(), terminals)
 		if err != nil {
 			return Connection{}, err
 		}
@@ -95,7 +118,7 @@ func (c *Connector) Connect(terminals []int) (Connection, error) {
 		// (Corollary 2), Algorithm 1 also applies here: use it to certify
 		// (or refute) V2-minimality of the Theorem 5 tree.
 		v2Optimal := false
-		if t1, err := steiner.Algorithm1(c.b, terminals); err == nil {
+		if t1, err := steiner.Algorithm1Frozen(c.fb, terminals); err == nil {
 			v2Optimal = steiner.V2Count(c.b, tree) == steiner.V2Count(c.b, t1)
 		}
 		return Connection{
@@ -103,7 +126,7 @@ func (c *Connector) Connect(terminals []int) (Connection, error) {
 			Rationale: "(6,2)-chordal scheme: every nonredundant cover is minimum (Theorem 5)",
 		}, nil
 	case c.class.AlphaV1():
-		tree, err := steiner.Algorithm1(c.b, terminals)
+		tree, err := steiner.Algorithm1Frozen(c.fb, terminals)
 		if err != nil {
 			return Connection{}, err
 		}
@@ -112,7 +135,7 @@ func (c *Connector) Connect(terminals []int) (Connection, error) {
 			Rationale: "V1-chordal, V1-conformal scheme (alpha-acyclic H¹): minimal number of relations via the Lemma 1 elimination ordering (Theorem 3); total minimality is NP-complete here (Theorem 2)",
 		}, nil
 	case len(terminals) <= c.ExactLimit:
-		tree, err := steiner.Exact(c.b.G(), terminals)
+		tree, err := steiner.ExactFrozen(c.fb.G(), terminals)
 		if err != nil {
 			return Connection{}, err
 		}
@@ -121,7 +144,7 @@ func (c *Connector) Connect(terminals []int) (Connection, error) {
 			Rationale: fmt.Sprintf("no chordality guarantee: exact search over %d terminals (exponential, Theorem 2 forbids better in general)", len(terminals)),
 		}, nil
 	default:
-		tree, err := steiner.Approximate(c.b.G(), terminals)
+		tree, err := steiner.ApproximateFrozen(c.fb.G(), terminals)
 		if err != nil {
 			return Connection{}, err
 		}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/intset"
+)
+
+// Service serves minimal-connection queries over one compiled scheme to
+// concurrent callers. It adds two things to a Connector:
+//
+//   - an LRU answer cache keyed on the canonical terminal set (intset.Key):
+//     the scheme is frozen at construction, so an answer never goes stale
+//     and repeated or overlapping workloads — the paper's interactive
+//     disambiguation loop re-asks mostly-identical queries — become cache
+//     hits instead of Steiner reruns;
+//   - ConnectBatch, which fans a batch out over a bounded worker pool.
+//
+// Identical queries arriving concurrently are deduplicated in flight: one
+// goroutine computes, the rest wait on the same cache entry. All methods
+// are safe for concurrent use.
+type Service struct {
+	c        *Connector
+	workers  int
+	capacity int
+
+	mu     sync.Mutex
+	cache  map[string]*list.Element
+	order  *list.List // front = most recently used; values are *cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+// cacheEntry is one cached (or in-flight) answer. done is closed once conn
+// and err are populated; waiters block on it outside the Service lock.
+type cacheEntry struct {
+	key  string
+	done chan struct{}
+	conn Connection
+	err  error
+}
+
+// DefaultCacheSize is the answer-cache capacity used when NewService is
+// given a non-positive one.
+const DefaultCacheSize = 1024
+
+// NewService wraps a Connector for concurrent serving. workers bounds the
+// ConnectBatch pool (non-positive means GOMAXPROCS); cacheSize bounds the
+// answer cache (non-positive means DefaultCacheSize).
+func NewService(c *Connector, workers, cacheSize int) *Service {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Service{
+		c:        c,
+		workers:  workers,
+		capacity: cacheSize,
+		cache:    make(map[string]*list.Element, cacheSize),
+		order:    list.New(),
+	}
+}
+
+// Connector returns the wrapped Connector.
+func (s *Service) Connector() *Connector { return s.c }
+
+// Connect answers one minimal-connection query through the cache.
+func (s *Service) Connect(terminals []int) (Connection, error) {
+	key := intset.FromSlice(terminals).Key()
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.order.MoveToFront(e)
+		s.hits++
+		ent := e.Value.(*cacheEntry)
+		s.mu.Unlock()
+		<-ent.done
+		return ent.conn, ent.err
+	}
+	s.misses++
+	ent := &cacheEntry{key: key, done: make(chan struct{})}
+	s.cache[key] = s.order.PushFront(ent)
+	if s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.cache, oldest.Value.(*cacheEntry).key)
+	}
+	s.mu.Unlock()
+
+	// Compute outside the lock; the Connector is concurrency-safe. Errors
+	// are cached too: for a frozen scheme they are as deterministic as
+	// answers (e.g. disconnected terminals stay disconnected).
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// Connect panicked (e.g. an out-of-range terminal id). Evict the
+		// half-built entry so the key is not poisoned and fail any waiters
+		// instead of leaving them blocked on done forever; the panic itself
+		// keeps propagating to this caller.
+		ent.err = fmt.Errorf("core: Connect panicked for terminal set {%s}", key)
+		s.mu.Lock()
+		if e, ok := s.cache[key]; ok && e.Value.(*cacheEntry) == ent {
+			s.order.Remove(e)
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+		close(ent.done)
+	}()
+	ent.conn, ent.err = s.c.Connect(terminals)
+	completed = true
+	close(ent.done)
+	return ent.conn, ent.err
+}
+
+// BatchResult is one answer of ConnectBatch, at the index of its query.
+type BatchResult struct {
+	Terminals []int
+	Conn      Connection
+	Err       error
+}
+
+// ConnectBatch answers all queries concurrently on at most workers
+// goroutines and returns the results in query order. Duplicate terminal
+// sets inside one batch are computed once via the cache.
+func (s *Service) ConnectBatch(queries [][]int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := s.workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				conn, err := s.Connect(queries[i])
+				out[i] = BatchResult{Terminals: queries[i], Conn: conn, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// CacheStats is a point-in-time snapshot of the answer cache.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns current cache counters. A hit counts any lookup that found
+// an entry, including one still in flight.
+func (s *Service) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{Hits: s.hits, Misses: s.misses, Entries: s.order.Len()}
+}

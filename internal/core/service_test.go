@@ -1,0 +1,264 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+)
+
+// sameConnection compares the parts of a Connection that constitute the
+// answer.
+func sameConnection(a, b core.Connection) bool {
+	return a.Method == b.Method && a.Optimal == b.Optimal &&
+		a.V2Optimal == b.V2Optimal && a.Tree.Nodes.Equal(b.Tree.Nodes)
+}
+
+func TestServiceMatchesConnector(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial, b := range []*bipartite.Graph{
+		fixtures.Fig2(),
+		fixtures.Fig3b(),
+		fixtures.Fig5(),
+		bipartite.FromHypergraph(gen.GammaAcyclic(r, 20, 3, 3)).B,
+		gen.RandomConnectedBipartite(r, 6, 6, 0.3),
+	} {
+		conn := core.New(b)
+		svc := core.NewService(conn, 4, 64)
+		for k := 0; k < 10; k++ {
+			terms := []int{r.Intn(b.N()), r.Intn(b.N())}
+			want, wantErr := conn.Connect(terms)
+			got, gotErr := svc.Connect(terms)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d: error mismatch: %v vs %v", trial, wantErr, gotErr)
+			}
+			if wantErr == nil && !sameConnection(want, got) {
+				t.Fatalf("trial %d: cached answer differs from direct answer", trial)
+			}
+			// Second lookup must hit the cache and return the same answer.
+			again, againErr := svc.Connect(terms)
+			if (gotErr == nil) != (againErr == nil) || (gotErr == nil && !sameConnection(got, again)) {
+				t.Fatalf("trial %d: cache hit returned a different answer", trial)
+			}
+		}
+	}
+}
+
+func TestServiceCacheCountsAndEviction(t *testing.T) {
+	b := fixtures.Fig3b()
+	conn := core.New(b)
+	svc := core.NewService(conn, 1, 2) // capacity 2 forces eviction
+	q1 := b.G().IDs("A", "C")
+	q2 := b.G().IDs("A", "B")
+	q3 := b.G().IDs("B", "C")
+
+	svc.Connect(q1)
+	svc.Connect(q1) // hit
+	st := svc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after warm lookup: %+v", st)
+	}
+	svc.Connect(q2)
+	svc.Connect(q3) // evicts q1 (least recently used)
+	st = svc.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("capacity not enforced: %+v", st)
+	}
+	svc.Connect(q1) // must recompute
+	st = svc.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("evicted entry should have missed: %+v", st)
+	}
+
+	// Terminal-set canonicalization: order and duplicates do not matter.
+	svc.Connect([]int{q1[1], q1[0], q1[0]})
+	if got := svc.Stats().Hits; got != 2 {
+		t.Fatalf("permuted duplicate query should hit the cache, hits=%d", got)
+	}
+}
+
+func TestServiceConnectBatchOrderAndErrors(t *testing.T) {
+	// Disconnected scheme: two arcs in separate components.
+	b := bipartite.New()
+	a1, a2 := b.AddV1("a1"), b.AddV1("a2")
+	r1, r2 := b.AddV2("r1"), b.AddV2("r2")
+	b.AddEdge(a1, r1)
+	b.AddEdge(a2, r2)
+	svc := core.NewService(core.New(b), 3, 0)
+
+	queries := [][]int{
+		{a1, r1},
+		{a1, a2}, // spans components: error
+		{a2, r2},
+		{a1, r1}, // duplicate: cache hit
+	}
+	results := svc.ConnectBatch(queries)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		if fmt.Sprint(r.Terminals) != fmt.Sprint(queries[i]) {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+	if results[1].Err == nil {
+		t.Error("query across components should error")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Errorf("query %d: %v", i, results[i].Err)
+		}
+	}
+	if !results[0].Conn.Tree.Nodes.Equal(results[3].Conn.Tree.Nodes) {
+		t.Error("duplicate queries disagree")
+	}
+	if st := svc.Stats(); st.Hits < 1 {
+		t.Errorf("duplicate in batch should hit cache: %+v", st)
+	}
+	if res := svc.ConnectBatch(nil); len(res) != 0 {
+		t.Errorf("empty batch should return no results")
+	}
+}
+
+// TestServiceConcurrentHammer drives one Service from many goroutines with
+// both repeated and distinct terminal sets; under -race it asserts the
+// frozen view + cache locking are sound, and it checks every concurrent
+// answer against the sequential one.
+func TestServiceConcurrentHammer(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	b := bipartite.FromHypergraph(gen.GammaAcyclic(r, 30, 3, 3)).B
+	conn := core.New(b)
+	svc := core.NewService(conn, 8, 16) // small cache: eviction under load
+
+	type query struct {
+		terms []int
+		conn  core.Connection
+		err   error
+	}
+	var queries []query
+	for k := 0; k < 24; k++ {
+		terms := []int{r.Intn(b.N()), r.Intn(b.N()), r.Intn(b.N())}
+		c, err := conn.Connect(terms)
+		queries = append(queries, query{terms: terms, conn: c, err: err})
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(seed)))
+			for i := 0; i < 50; i++ {
+				q := queries[rr.Intn(len(queries))]
+				got, err := svc.Connect(q.terms)
+				if (err == nil) != (q.err == nil) {
+					errs <- fmt.Errorf("error mismatch for %v: %v vs %v", q.terms, err, q.err)
+					return
+				}
+				if err == nil && !sameConnection(got, q.conn) {
+					errs <- fmt.Errorf("concurrent answer for %v differs", q.terms)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := svc.Stats()
+	if st.Hits+st.Misses != goroutines*50 {
+		t.Errorf("lookup accounting off: %+v", st)
+	}
+}
+
+// TestConnectorConcurrent hammers a bare Connector (no Service cache) from
+// many goroutines — the frozen view itself must be safe without any
+// synchronization.
+func TestConnectorConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	b := bipartite.FromHypergraph(gen.AlphaAcyclic(r, 25, 4, 3)).B
+	conn := core.New(b)
+	terms := [][]int{
+		{0, b.N() - 1},
+		{1, b.N() / 2},
+		{0, 1, 2},
+	}
+	want := make([]core.Connection, len(terms))
+	wantErr := make([]error, len(terms))
+	for i, q := range terms {
+		want[i], wantErr[i] = conn.Connect(q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				k := (w + i) % len(terms)
+				got, err := conn.Connect(terms[k])
+				if (err == nil) != (wantErr[k] == nil) {
+					errs <- fmt.Errorf("error mismatch on %v", terms[k])
+					return
+				}
+				if err == nil && !sameConnection(got, want[k]) {
+					errs <- fmt.Errorf("concurrent Connect differs on %v", terms[k])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServicePanicDoesNotPoisonCache asserts that a panicking query (an
+// out-of-range terminal id panics in the graph layer) propagates to its
+// caller but neither deadlocks later queries on the same key nor leaves a
+// half-built entry cached.
+func TestServicePanicDoesNotPoisonCache(t *testing.T) {
+	b := fixtures.Fig3b()
+	svc := core.NewService(core.New(b), 2, 8)
+	bad := []int{b.N() + 100}
+
+	mustPanic := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		svc.Connect(bad)
+		return false
+	}
+	if !mustPanic() {
+		t.Fatal("out-of-range terminal should panic")
+	}
+	// The key must not be poisoned: a retry panics again (it recomputes)
+	// rather than blocking forever on the first attempt's entry.
+	retried := make(chan bool, 1)
+	go func() { retried <- mustPanic() }()
+	select {
+	case again := <-retried:
+		if !again {
+			t.Fatal("retry should panic again, not return")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry deadlocked on the poisoned cache entry")
+	}
+	if st := svc.Stats(); st.Entries != 0 {
+		t.Fatalf("panicked entry left in cache: %+v", st)
+	}
+	// Healthy queries still work.
+	if _, err := svc.Connect(b.G().IDs("A", "C")); err != nil {
+		t.Fatalf("service broken after panic: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package graph
+
+import "fmt"
+
+// Frozen is an immutable compressed-sparse-row (CSR) view of a Graph,
+// compiled once with Freeze. The adjacency of node v is the slice
+// neighbors[offsets[v]:offsets[v+1]], sorted ascending; for graphs up to
+// matrixMaxN nodes a dense bitset adjacency matrix is also compiled, making
+// HasEdge O(1). A Frozen never changes after Freeze returns, so any number
+// of goroutines may query and traverse it concurrently without
+// synchronization — this is the substrate the classify-once/query-many
+// serving stack (core.Connector, core.Service) is built on.
+type Frozen struct {
+	labels    []string
+	index     map[string]int
+	offsets   []int32 // len N()+1; offsets[v] is where v's adjacency starts
+	neighbors []int32 // len 2·M(); concatenated sorted adjacency lists
+	m         int
+	matrix    []uint64 // optional n×n adjacency bitset, row-major; nil when large
+	stride    int      // uint64 words per matrix row
+}
+
+// matrixMaxN bounds the node count for which Freeze compiles the dense
+// bitset adjacency matrix (n² bits: 2048 nodes cost 512 KiB). Above it
+// HasEdge falls back to binary search over the CSR slice.
+const matrixMaxN = 2048
+
+// Freeze compiles g into its immutable CSR view. The snapshot is deep:
+// later mutation of g does not affect the Frozen. Cost is O(n + m).
+func (g *Graph) Freeze() *Frozen {
+	n := g.N()
+	f := &Frozen{
+		labels:  append([]string(nil), g.labels...),
+		index:   make(map[string]int, len(g.index)),
+		offsets: make([]int32, n+1),
+		m:       g.m,
+	}
+	for l, id := range g.index {
+		f.index[l] = id
+	}
+	f.neighbors = make([]int32, 0, 2*g.m)
+	for v := 0; v < n; v++ {
+		for _, w := range g.adj[v] {
+			f.neighbors = append(f.neighbors, int32(w))
+		}
+		f.offsets[v+1] = int32(len(f.neighbors))
+	}
+	if n > 0 && n <= matrixMaxN {
+		f.stride = (n + 63) / 64
+		f.matrix = make([]uint64, n*f.stride)
+		for v := 0; v < n; v++ {
+			row := f.matrix[v*f.stride : (v+1)*f.stride]
+			for _, w := range g.adj[v] {
+				row[w>>6] |= 1 << (uint(w) & 63)
+			}
+		}
+	}
+	return f
+}
+
+// Thaw reconstructs a mutable Graph equal to the frozen snapshot.
+func (f *Frozen) Thaw() *Graph {
+	g := New()
+	for _, l := range f.labels {
+		g.AddNode(l)
+	}
+	for _, e := range f.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+func (f *Frozen) check(v int) {
+	if v < 0 || v >= len(f.labels) {
+		panic(fmt.Sprintf("graph: node id %d out of range [0, %d)", v, len(f.labels)))
+	}
+}
+
+// N returns the number of nodes.
+func (f *Frozen) N() int { return len(f.labels) }
+
+// M returns the number of edges.
+func (f *Frozen) M() int { return f.m }
+
+// HasMatrix reports whether the dense adjacency bitset was compiled.
+func (f *Frozen) HasMatrix() bool { return f.matrix != nil }
+
+// Label returns the label of node v.
+func (f *Frozen) Label(v int) string {
+	f.check(v)
+	return f.labels[v]
+}
+
+// Labels maps a slice of node ids to their labels.
+func (f *Frozen) Labels(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = f.Label(v)
+	}
+	return out
+}
+
+// ID returns the id of the node with the given label.
+func (f *Frozen) ID(label string) (int, bool) {
+	id, ok := f.index[label]
+	return id, ok
+}
+
+// MustID returns the id of the node with the given label, panicking if the
+// label is unknown.
+func (f *Frozen) MustID(label string) int {
+	id, ok := f.index[label]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node label %q", label))
+	}
+	return id
+}
+
+// IDs maps labels to node ids, panicking on unknown labels.
+func (f *Frozen) IDs(labels ...string) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = f.MustID(l)
+	}
+	return out
+}
+
+// Degree returns the degree of v.
+func (f *Frozen) Degree(v int) int {
+	f.check(v)
+	return int(f.offsets[v+1] - f.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency slice of v. The slice aliases the
+// CSR arrays and must not be modified.
+func (f *Frozen) Neighbors(v int) []int32 {
+	f.check(v)
+	return f.neighbors[f.offsets[v]:f.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge {u, v} is present: O(1) via the bitset
+// matrix when compiled, O(log degree) otherwise.
+func (f *Frozen) HasEdge(u, v int) bool {
+	f.check(u)
+	f.check(v)
+	if f.matrix != nil {
+		return f.matrix[u*f.stride+(v>>6)]&(1<<(uint(v)&63)) != 0
+	}
+	nbr := f.neighbors[f.offsets[u]:f.offsets[u+1]]
+	lo, hi := 0, len(nbr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nbr[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbr) && nbr[lo] == int32(v)
+}
+
+// Edges returns all edges with U < V, in lexicographic order.
+func (f *Frozen) Edges() []Edge {
+	out := make([]Edge, 0, f.m)
+	for u := 0; u < f.N(); u++ {
+		for _, v := range f.neighbors[f.offsets[u]:f.offsets[u+1]] {
+			if int32(u) < v {
+				out = append(out, Edge{u, int(v)})
+			}
+		}
+	}
+	return out
+}

@@ -14,7 +14,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/intset"
 )
@@ -199,7 +198,9 @@ type Edge struct {
 	U, V int
 }
 
-// Edges returns all edges with U < V, sorted lexicographically.
+// Edges returns all edges with U < V, sorted lexicographically. No explicit
+// sort is needed: adjacency sets are sorted and u ascends, so edges come out
+// in lexicographic order already.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := range g.adj {
@@ -209,12 +210,6 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 

@@ -1,0 +1,452 @@
+package steiner
+
+// Frozen-path solvers: the Section 3 algorithms compiled against the
+// immutable CSR views of internal/graph and internal/bipartite. The
+// algorithms are the same as the mutable path (steiner.go, algorithm1.go,
+// exact.go, heuristic.go) and return identical answers (asserted by
+// frozen_test.go), but the hot loops differ:
+//
+//   - connectivity probes during elimination run an early-exit search with
+//     epoch-stamped visit marks, so a probe costs the touched region, not an
+//     O(n) reset, and the whole pass stays allocation-free;
+//   - Algorithm 1 runs on the terminals' component via an alive mask over
+//     the shared CSR arrays instead of materializing an induced subgraph
+//     copy with id remapping;
+//   - all adjacency iteration walks flat int32 slices.
+//
+// Every function here only reads the frozen views, so one frozen scheme can
+// serve any number of concurrent queries (see core.Service).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// componentAliveFrozen returns the alive mask of the connected component of
+// fg containing all terminals, or an error when they span components.
+func componentAliveFrozen(fg *graph.Frozen, terminals []int) ([]bool, error) {
+	if len(terminals) == 0 {
+		return nil, errors.New("steiner: empty terminal set")
+	}
+	mask := fg.ComponentMask(terminals)
+	if mask == nil {
+		return nil, ErrDisconnectedTerminals
+	}
+	return mask, nil
+}
+
+// restrictToTerminalComponentFrozen clears alive flags outside the
+// terminals' connected component.
+func restrictToTerminalComponentFrozen(fg *graph.Frozen, alive []bool, terminals []int) {
+	if len(terminals) == 0 {
+		return
+	}
+	dist := fg.BFSDistancesAlive(terminals[0], alive)
+	for v := range alive {
+		if alive[v] && dist[v] == -1 {
+			alive[v] = false
+		}
+	}
+}
+
+// spanningTreeFrozen builds the Tree result for an alive cover.
+func spanningTreeFrozen(fg *graph.Frozen, alive []bool) (Tree, error) {
+	edges, ok := fg.SpanningTreeAlive(alive)
+	if !ok {
+		return Tree{}, errors.New("steiner: cover is not connected (internal error)")
+	}
+	var nodes []int
+	for v := 0; v < fg.N(); v++ {
+		if alive[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	return Tree{Nodes: intset.FromSlice(nodes), Edges: edges}, nil
+}
+
+// connScratch holds the reusable state of the elimination passes'
+// connectivity probes. Visit marks are epoch stamps, so starting a new probe
+// is one integer increment instead of clearing an array, and the search
+// stops as soon as every terminal has been reached.
+type connScratch struct {
+	visited []int32
+	epoch   int32
+	isTerm  []bool
+	nTerm   int
+	stack   []int32
+}
+
+func newConnScratch(n int, terminals []int) *connScratch {
+	sc := &connScratch{
+		visited: make([]int32, n),
+		isTerm:  make([]bool, n),
+		stack:   make([]int32, 0, 64),
+	}
+	for _, p := range terminals {
+		if !sc.isTerm[p] {
+			sc.isTerm[p] = true
+			sc.nTerm++
+		}
+	}
+	return sc
+}
+
+// terminalsConnected reports whether all terminals are alive and mutually
+// connected in the alive subgraph, mirroring Graph.TerminalsConnected.
+func (sc *connScratch) terminalsConnected(fg *graph.Frozen, alive []bool, terminals []int) bool {
+	for _, p := range terminals {
+		if !alive[p] {
+			return false
+		}
+	}
+	sc.epoch++
+	remaining := sc.nTerm
+	start := terminals[0]
+	sc.visited[start] = sc.epoch
+	remaining--
+	st := append(sc.stack[:0], int32(start))
+	for len(st) > 0 && remaining > 0 {
+		v := st[len(st)-1]
+		st = st[:len(st)-1]
+		for _, w := range fg.Neighbors(int(v)) {
+			if sc.visited[w] == sc.epoch || !alive[w] {
+				continue
+			}
+			sc.visited[w] = sc.epoch
+			if sc.isTerm[w] {
+				remaining--
+			}
+			st = append(st, w)
+		}
+	}
+	sc.stack = st[:0]
+	return remaining == 0
+}
+
+// EliminateOrderedFrozen is EliminateOrdered on a frozen graph: the
+// Definition 11 single-pass redundant-node elimination, with each removal
+// probe running the early-exit connectivity search.
+func EliminateOrderedFrozen(fg *graph.Frozen, terminals, order []int) (Tree, error) {
+	alive, err := componentAliveFrozen(fg, terminals)
+	if err != nil {
+		return Tree{}, err
+	}
+	p := intset.FromSlice(terminals)
+	sc := newConnScratch(fg.N(), terminals)
+	for _, v := range order {
+		if v < 0 || v >= fg.N() || !alive[v] || p.Contains(v) {
+			continue
+		}
+		alive[v] = false
+		if !sc.terminalsConnected(fg, alive, terminals) {
+			alive[v] = true
+		}
+	}
+	restrictToTerminalComponentFrozen(fg, alive, terminals)
+	return spanningTreeFrozen(fg, alive)
+}
+
+// Algorithm2Frozen is Algorithm2 on a frozen graph (Theorem 5): redundant-
+// node elimination in id order, minimum on (6,2)-chordal bipartite graphs.
+func Algorithm2Frozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+	order := make([]int, fg.N())
+	for i := range order {
+		order[i] = i
+	}
+	return EliminateOrderedFrozen(fg, terminals, order)
+}
+
+// Algorithm1Frozen is Algorithm1 on a frozen bipartite graph (Theorem 3):
+// the pseudo-Steiner tree with the minimum number of V2 nodes on a
+// V1-chordal, V1-conformal scheme. Instead of materializing the induced
+// subgraph of the terminals' component (as the mutable path does) it runs
+// the Lemma 1 ordering and the elimination pass under an alive mask over
+// the shared CSR arrays. It returns ErrNotAlphaAcyclic when H¹ of the
+// component is not α-acyclic.
+func Algorithm1Frozen(fb *bipartite.Frozen, terminals []int) (Tree, error) {
+	fg := fb.G()
+	alive, err := componentAliveFrozen(fg, terminals)
+	if err != nil {
+		return Tree{}, err
+	}
+	w, err := lemma1OrderingAlive(fb, alive)
+	if err != nil {
+		return Tree{}, err
+	}
+	p := intset.FromSlice(terminals)
+	sc := newConnScratch(fg.N(), terminals)
+	removed := make([]int, 0, 16)
+	for _, v2 := range w {
+		if !alive[v2] {
+			continue
+		}
+		// X = {v} ∪ Adj*(v): v plus the nodes currently adjacent only to v.
+		removed = append(removed[:0], v2)
+		alive[v2] = false
+		for _, u := range fg.Neighbors(v2) {
+			if !alive[u] {
+				continue
+			}
+			private := true
+			for _, x := range fg.Neighbors(int(u)) {
+				if alive[x] {
+					private = false
+					break
+				}
+			}
+			if private {
+				alive[u] = false
+				removed = append(removed, int(u))
+			}
+		}
+		ok := true
+		for _, x := range removed {
+			if p.Contains(x) {
+				ok = false
+				break
+			}
+		}
+		// Same cover test as the mutable path: the terminals must stay
+		// mutually connected; stranded fragments are cleaned up when the
+		// ordering reaches their own V2 nodes.
+		if ok && !sc.terminalsConnected(fg, alive, terminals) {
+			ok = false
+		}
+		if !ok {
+			for _, x := range removed {
+				alive[x] = true
+			}
+		}
+	}
+	restrictToTerminalComponentFrozen(fg, alive, terminals)
+	return spanningTreeFrozen(fg, alive)
+}
+
+// lemma1OrderingAlive computes the Lemma 1 elimination ordering of the
+// alive V2 nodes (original ids), building H¹ of the alive subgraph straight
+// off the CSR arrays. Greedy edge order and the running-intersection check
+// are deterministic over edge indices, and the alive restriction preserves
+// relative node and edge order, so the result matches Lemma1Ordering on the
+// induced subgraph mapped back to original ids.
+func lemma1OrderingAlive(fb *bipartite.Frozen, alive []bool) ([]int, error) {
+	corr := fb.HypergraphV1Alive(alive)
+	rip := corr.H.GreedyEdgeOrder()
+	if corr.H.VerifyRunningIntersection(rip) != -1 {
+		return nil, ErrNotAlphaAcyclic
+	}
+	seen := make(map[int]bool, len(corr.EdgeToV2))
+	for _, v := range corr.EdgeToV2 {
+		seen[v] = true
+	}
+	var w []int
+	for _, v := range fb.V2() {
+		if (alive == nil || alive[v]) && !seen[v] {
+			w = append(w, v) // isolated V2 node: eliminate first
+		}
+	}
+	for i := len(rip) - 1; i >= 0; i-- {
+		w = append(w, corr.EdgeToV2[rip[i]])
+	}
+	return w, nil
+}
+
+// ExactFrozen is Exact on a frozen graph: the Dreyfus–Wagner dynamic
+// program over terminal subsets, with the all-pairs distance table computed
+// by CSR BFS into compact int32 rows.
+func ExactFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+	ts := intset.FromSlice(terminals)
+	if ts.Len() == 0 {
+		return Tree{}, fmt.Errorf("steiner: empty terminal set")
+	}
+	if ts.Len() == 1 {
+		return Tree{Nodes: ts.Clone()}, nil
+	}
+	if ts.Len() > 20 {
+		return Tree{}, fmt.Errorf("steiner: %d terminals exceed the exact solver's limit", ts.Len())
+	}
+	n := fg.N()
+	dist := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		dist[v] = fg.BFSDistances(v)
+	}
+	for _, t := range ts[1:] {
+		if dist[ts[0]][t] == -1 {
+			return Tree{}, ErrDisconnectedTerminals
+		}
+	}
+
+	k := ts.Len() - 1 // subsets range over ts[0..k-1]; ts[k] is the root
+	root := ts[k]
+	const inf = math.MaxInt32
+	size := 1 << uint(k)
+	dp := make([][]int32, size)
+	// choice records reconstruction info exactly as in Exact.
+	choice := make([][]int32, size)
+	for s := 1; s < size; s++ {
+		dp[s] = make([]int32, n)
+		choice[s] = make([]int32, n)
+		for v := range dp[s] {
+			dp[s][v] = inf
+		}
+	}
+	for i := 0; i < k; i++ {
+		t := ts[i]
+		s := 1 << uint(i)
+		for v := 0; v < n; v++ {
+			if d := dist[t][v]; d >= 0 {
+				dp[s][v] = d
+			}
+		}
+	}
+	for s := 1; s < size; s++ {
+		if s&(s-1) == 0 {
+			continue // singleton: base case done
+		}
+		for v := 0; v < n; v++ {
+			for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+				if sub < s-sub {
+					break // each unordered split once
+				}
+				if dp[sub][v] < inf && dp[s&^sub][v] < inf {
+					if c := dp[sub][v] + dp[s&^sub][v]; c < dp[s][v] {
+						dp[s][v] = c
+						choice[s][v] = int32(sub)
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v || dp[s][u] >= inf || dist[u][v] < 0 {
+					continue
+				}
+				if c := dp[s][u] + dist[u][v]; c < dp[s][v] {
+					dp[s][v] = c
+					choice[s][v] = int32(-1 - u)
+				}
+			}
+		}
+	}
+	full := size - 1
+	if dp[full][root] >= inf {
+		return Tree{}, ErrDisconnectedTerminals
+	}
+
+	nodes := map[int]bool{}
+	var rec func(s int, v int)
+	rec = func(s int, v int) {
+		nodes[v] = true
+		if s&(s-1) == 0 {
+			var ti int
+			for i := 0; i < k; i++ {
+				if s == 1<<uint(i) {
+					ti = ts[i]
+				}
+			}
+			for _, x := range fg.ShortestPath(ti, v) {
+				nodes[x] = true
+			}
+			return
+		}
+		c := choice[s][v]
+		if c < 0 {
+			u := int(-1 - c)
+			for _, x := range fg.ShortestPath(u, v) {
+				nodes[x] = true
+			}
+			rec(s, u)
+			return
+		}
+		rec(int(c), v)
+		rec(s&^int(c), v)
+	}
+	rec(full, root)
+
+	alive := make([]bool, n)
+	for v := range nodes {
+		alive[v] = true
+	}
+	tree, err := spanningTreeFrozen(fg, alive)
+	if err != nil {
+		return Tree{}, err
+	}
+	if got, want := tree.Nodes.Len(), int(dp[full][root])+1; got > want {
+		return Tree{}, fmt.Errorf("steiner: reconstruction produced %d nodes for cost %d (internal error)", got, want-1)
+	}
+	return tree, nil
+}
+
+// ApproximateFrozen is Approximate on a frozen graph: the metric-closure
+// 2-approximation with terminal-row BFS distances and the final pruning
+// pass over the CSR view.
+func ApproximateFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+	ts := intset.FromSlice(terminals)
+	if _, err := componentAliveFrozen(fg, terminals); err != nil {
+		return Tree{}, err
+	}
+	if ts.Len() == 1 {
+		return Tree{Nodes: ts.Clone()}, nil
+	}
+	k := ts.Len()
+	dist := make([][]int32, k)
+	for i, t := range ts {
+		dist[i] = fg.BFSDistances(t)
+	}
+	// Prim MST over the terminal metric closure.
+	inTree := make([]bool, k)
+	best := make([]int32, k)
+	bestTo := make([]int, k)
+	for i := range best {
+		best[i] = 1 << 30
+	}
+	best[0] = 0
+	bestTo[0] = -1
+	nodes := map[int]bool{}
+	for picked := 0; picked < k; picked++ {
+		sel := -1
+		for i := 0; i < k; i++ {
+			if !inTree[i] && (sel == -1 || best[i] < best[sel]) {
+				sel = i
+			}
+		}
+		inTree[sel] = true
+		if bestTo[sel] >= 0 {
+			for _, v := range fg.ShortestPath(ts[bestTo[sel]], ts[sel]) {
+				nodes[v] = true
+			}
+		} else {
+			nodes[ts[sel]] = true
+		}
+		for i := 0; i < k; i++ {
+			if !inTree[i] && dist[sel][ts[i]] >= 0 && dist[sel][ts[i]] < best[i] {
+				best[i] = dist[sel][ts[i]]
+				bestTo[i] = sel
+			}
+		}
+	}
+	// Prune: drop nodes whose removal keeps a cover (single pass, largest
+	// ids first for determinism).
+	alive := make([]bool, fg.N())
+	var order []int
+	for v := range nodes {
+		alive[v] = true
+		order = append(order, v)
+	}
+	order = intset.FromSlice(order)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if ts.Contains(v) {
+			continue
+		}
+		alive[v] = false
+		if !fg.Covers(alive, terminals) {
+			alive[v] = true
+		}
+	}
+	return spanningTreeFrozen(fg, alive)
+}
