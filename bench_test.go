@@ -5,6 +5,7 @@
 package chordal_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -217,7 +218,7 @@ func BenchmarkInterpretations(b *testing.B) {
 	terms := []int{0, bg.N() - 1}
 	b.Run("n=12", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			conn.Interpretations(terms, 6, 5)
+			conn.Interpretations(context.Background(), terms, 6, 5)
 		}
 	})
 }
@@ -290,7 +291,7 @@ func BenchmarkConnectorDispatch(b *testing.B) {
 	terms := largestComponentEnds(bg.G())
 	b.Run("Connect/m=30", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := conn.Connect(terms); err != nil {
+			if _, err := conn.Connect(context.Background(), terms); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -381,7 +382,7 @@ func BenchmarkRankedCovers(b *testing.B) {
 	terms := []int{0, g.N() - 1}
 	b.Run("n=10", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			steiner.RankedCovers(g, terms, g.N(), 5)
+			steiner.RankedCovers(context.Background(), g, terms, g.N(), 5)
 		}
 	})
 }
@@ -442,7 +443,7 @@ func BenchmarkSteinerMutableVsFrozen(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("Algorithm2/Frozen/edges=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := steiner.Algorithm2Frozen(fb.G(), terms); err != nil {
+				if _, err := steiner.Algorithm2Frozen(context.Background(), fb.G(), terms); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -463,7 +464,7 @@ func BenchmarkSteinerMutableVsFrozen(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("Algorithm1/Frozen/edges=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := steiner.Algorithm1Frozen(fb, terms); err != nil {
+				if _, err := steiner.Algorithm1Frozen(context.Background(), fb, terms); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -483,9 +484,8 @@ func serviceWorkload(r *rand.Rand, g *graph.Graph, distinct, total int) [][]int 
 	}
 	base := make([][]int, distinct)
 	for i := range base {
-		base[i] = []int{
-			comp[r.Intn(len(comp))], comp[r.Intn(len(comp))], comp[r.Intn(len(comp))],
-		}
+		pick := r.Perm(len(comp))[:3] // distinct: v2 rejects duplicate terminals
+		base[i] = []int{comp[pick[0]], comp[pick[1]], comp[pick[2]]}
 	}
 	out := make([][]int, total)
 	for i := range out {
@@ -507,22 +507,22 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	b.Run("SequentialUncached/q=256", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, q := range queries {
-				conn.Connect(q) // errors included in the workload
+				conn.Connect(context.Background(), q) // errors included in the workload
 			}
 		}
 	})
 	b.Run("BatchedCached/q=256", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			svc := core.NewService(conn, 0, 0) // fresh cache each round
-			svc.ConnectBatch(queries)
+			svc := core.NewService(conn) // fresh cache each round
+			svc.ConnectBatch(context.Background(), queries)
 		}
 	})
 	b.Run("BatchedWarmCache/q=256", func(b *testing.B) {
-		svc := core.NewService(conn, 0, 0)
-		svc.ConnectBatch(queries)
+		svc := core.NewService(conn)
+		svc.ConnectBatch(context.Background(), queries)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			svc.ConnectBatch(queries)
+			svc.ConnectBatch(context.Background(), queries)
 		}
 	})
 }

@@ -5,29 +5,56 @@
 //
 // The library decides the paper's bipartite chordality classes and
 // hypergraph acyclicity degrees, and answers minimal-connection (Steiner /
-// pseudo-Steiner) queries with the strongest algorithm each class admits:
+// pseudo-Steiner) queries with the strongest algorithm each class admits.
 //
-//	b := chordal.NewBipartite()           // build a scheme graph
-//	a := b.AddV1("attribute")             // V1 = attributes
-//	r := b.AddV2("relation")              // V2 = relation schemes
+// # The v2 query API
+//
+// Open compiles a scheme once (freeze into an immutable CSR view +
+// classify, Theorem 1) and returns a Service answering concurrent,
+// context-aware queries:
+//
+//	b := chordal.NewBipartite()                // build a scheme graph
+//	a := b.AddV1("attribute")                  // V1 = attributes
+//	r := b.AddV2("relation")                   // V2 = relation schemes
 //	b.AddEdge(a, r)
-//	conn := chordal.NewConnector(b)       // compile + classify once (Theorem 1)
-//	answer, err := conn.Connect([]int{a, r})
+//	svc := chordal.Open(b, chordal.WithWorkers(8), chordal.WithCacheSize(4096))
+//	answer, err := svc.Connect(ctx, []int{a, r})
 //
-// The classify-once/query-many contract is realized by a compiled scheme
-// pipeline: NewConnector freezes the scheme into an immutable CSR
-// (compressed sparse row) view — flat offset/neighbor arrays plus a bitset
-// adjacency matrix for dense O(1) edge probes — classifies that view, and
-// answers every query on frozen-path solvers that only read it. Freeze a
-// graph yourself (Freeze, FreezeGraph) when you want to share one compiled
-// scheme across goroutines, and wrap a Connector in a Service (NewService)
-// to serve concurrent traffic: batched fan-out over a bounded worker pool
-// and an LRU answer cache keyed on the canonical terminal set:
+// Every query takes a context.Context first: deadlines and cancellation
+// are checked inside the solvers' hot loops (including the exponential
+// Dreyfus–Wagner fallback), so Connect returns context.DeadlineExceeded
+// promptly instead of finishing a doomed search. Per-query functional
+// options tune one call without touching the compiled scheme:
 //
-//	svc := chordal.NewService(conn, 0, 0)      // default workers + cache
-//	results := svc.ConnectBatch(queries)       // answers in query order
+//	svc.Connect(ctx, terms,
+//	    chordal.WithMethod(chordal.MethodExact),  // force a solver
+//	    chordal.WithQueryExactLimit(8),           // exact/heuristic cutoff
+//	    chordal.WithInterpretations(3, 5),        // ranked alternatives
+//	    chordal.WithCacheBypass())                // skip the answer cache
 //
-// Subsystem map (all within this module):
+// Terminals are validated at the API boundary; failures are typed and
+// errors.Is-testable: ErrEmptyQuery, ErrInvalidTerminal,
+// ErrTooManyTerminals, ErrDisconnectedTerminals, ErrNotAlphaAcyclic,
+// context.Canceled, context.DeadlineExceeded.
+//
+// Batches fan out over a bounded worker pool with an LRU answer cache
+// keyed on the canonical terminal set plus the answer-changing options:
+//
+//	results := svc.ConnectBatch(ctx, queries)  // answers in query order
+//
+// A Registry serves many named schemes from one process, with atomic
+// compile-and-swap updates (in-flight queries finish on the old frozen
+// epoch; new queries see the new one):
+//
+//	reg := chordal.NewRegistry()
+//	reg.Set("library", b)                      // compile + install
+//	conn, err := reg.Connect(ctx, "library", terms)
+//
+// Lower-level entry points remain for direct use: NewConnector for a
+// cache-less query answerer, Freeze/FreezeGraph to share a compiled view
+// across goroutines, Classify/ClassifyFrozen for the taxonomy alone.
+//
+// Subsystem map (all within this module; see internal/README.md):
 //
 //	internal/graph       graphs, traversal, covers; Freeze → immutable CSR
 //	                     view (Frozen) safe for concurrent readers
@@ -37,10 +64,11 @@
 //	internal/chordality  (4,1)/(6,2)/(6,1)/Vi-chordality recognizers,
 //	                     mutable and frozen paths
 //	internal/steiner     Algorithms 1–2, exact and heuristic baselines,
-//	                     frozen-path ports of all four solvers,
+//	                     context-aware frozen-path ports of all solvers,
 //	                     the X3C and CSPC hardness gadgets
-//	internal/core        frozen-view classification + algorithm dispatch +
-//	                     ranking + the concurrent, cached Service
+//	internal/core        the v2 query layer: validation, typed errors,
+//	                     options, dispatch, ranking, the cached Service,
+//	                     the multi-tenant Registry
 //	internal/relational  relations, joins, semijoins, Yannakakis
 //	internal/schema      relational schemes as hypergraphs
 //	internal/ur          universal-relation interface
@@ -78,6 +106,11 @@ type (
 	Connector = core.Connector
 	// Connection is an answered query.
 	Connection = core.Connection
+	// Interpretation is one ranked alternative reading of a query.
+	Interpretation = core.Interpretation
+	// Method identifies which algorithm answers a query (MethodAuto,
+	// MethodAlgorithm2, MethodAlgorithm1, MethodExact, MethodHeuristic).
+	Method = core.Method
 	// Tree is a connection tree (cover node set + spanning tree edges).
 	Tree = steiner.Tree
 	// FrozenGraph is the immutable CSR view of a Graph.
@@ -86,10 +119,53 @@ type (
 	FrozenBipartite = bipartite.Frozen
 	// Service serves cached, concurrent connection queries over one scheme.
 	Service = core.Service
+	// Registry is a named, multi-tenant catalog of compiled schemes with
+	// atomic compile-and-swap updates.
+	Registry = core.Registry
 	// BatchResult is one answer of Service.ConnectBatch.
 	BatchResult = core.BatchResult
 	// CacheStats is a snapshot of a Service's answer cache.
 	CacheStats = core.CacheStats
+	// Option configures Open/NewConnector/NewRegistry-installed schemes.
+	Option = core.Option
+	// QueryOption configures a single Connect/ConnectBatch call.
+	QueryOption = core.QueryOption
+)
+
+// Methods, re-exported for WithMethod.
+const (
+	MethodAuto       = core.MethodAuto
+	MethodAlgorithm2 = core.MethodAlgorithm2
+	MethodAlgorithm1 = core.MethodAlgorithm1
+	MethodExact      = core.MethodExact
+	MethodHeuristic  = core.MethodHeuristic
+)
+
+// Typed query errors, re-exported for errors.Is at the facade.
+var (
+	ErrEmptyQuery            = core.ErrEmptyQuery
+	ErrInvalidTerminal       = core.ErrInvalidTerminal
+	ErrTooManyTerminals      = core.ErrTooManyTerminals
+	ErrUnknownScheme         = core.ErrUnknownScheme
+	ErrDisconnectedTerminals = steiner.ErrDisconnectedTerminals
+	ErrNotAlphaAcyclic       = steiner.ErrNotAlphaAcyclic
+)
+
+// Construction options, re-exported from internal/core.
+var (
+	WithWorkers         = core.WithWorkers
+	WithCacheSize       = core.WithCacheSize
+	WithExactLimit      = core.WithExactLimit
+	WithMaxTerminals    = core.WithMaxTerminals
+	WithV1TerminalsOnly = core.WithV1TerminalsOnly
+)
+
+// Per-query options, re-exported from internal/core.
+var (
+	WithMethod          = core.WithMethod
+	WithQueryExactLimit = core.WithQueryExactLimit
+	WithInterpretations = core.WithInterpretations
+	WithCacheBypass     = core.WithCacheBypass
 )
 
 // NewGraph returns an empty graph.
@@ -101,15 +177,26 @@ func NewBipartite() *Bipartite { return bipartite.New() }
 // NewHypergraph returns an empty hypergraph.
 func NewHypergraph() *Hypergraph { return hypergraph.New() }
 
-// NewConnector compiles and classifies the scheme once and returns a query
-// answerer; b must not be mutated afterwards.
-func NewConnector(b *Bipartite) *Connector { return core.New(b) }
+// Open compiles and classifies the scheme once and returns a Service
+// answering concurrent, cached, context-aware queries over it; b must not
+// be mutated afterwards. This is the main v2 entry point.
+func Open(b *Bipartite, opts ...Option) *Service { return core.Open(b, opts...) }
 
-// NewService wraps a Connector for concurrent serving: a bounded worker
-// pool for ConnectBatch plus an LRU answer cache. Non-positive workers or
-// cacheSize select the defaults (GOMAXPROCS, core.DefaultCacheSize).
+// NewRegistry returns an empty multi-tenant scheme catalog.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// NewConnector compiles and classifies the scheme once and returns a query
+// answerer without a cache or worker pool; b must not be mutated
+// afterwards. Use Open unless the cache is unwanted.
+func NewConnector(b *Bipartite, opts ...Option) *Connector { return core.New(b, opts...) }
+
+// NewService wraps a Connector for concurrent serving with positional
+// limits.
+//
+// Deprecated: use Open(b, WithWorkers(workers), WithCacheSize(cacheSize)),
+// or core.NewService with options when the Connector is shared.
 func NewService(c *Connector, workers, cacheSize int) *Service {
-	return core.NewService(c, workers, cacheSize)
+	return core.NewService(c, core.WithWorkers(workers), core.WithCacheSize(cacheSize))
 }
 
 // Freeze compiles a bipartite scheme into its immutable view, safe for

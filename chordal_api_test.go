@@ -1,6 +1,7 @@
 package chordal_test
 
 import (
+	"context"
 	"testing"
 
 	chordal "repro"
@@ -22,7 +23,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 
 	conn := chordal.NewConnector(b)
-	answer, err := conn.Connect([]int{reader, book})
+	answer, err := conn.Connect(context.Background(), []int{reader, book})
 	if err != nil {
 		t.Fatal(err)
 	}

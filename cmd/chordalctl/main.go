@@ -5,27 +5,45 @@
 //
 // It can also serve minimal-connection query batches: with -batch the
 // scheme is compiled once (frozen CSR view + classification) and the
-// queries are answered concurrently through the cached core.Service.
+// queries are answered concurrently through the cached core.Service. With
+// -registry one process serves several named schemes at once through a
+// core.Registry.
 //
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
-//	chordalctl -batch queries.txt [-workers n] [file]
+//	chordalctl -batch queries.txt [-workers n] [-timeout d] [file]
+//	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d]
 //
 // Reads the graph from the file or standard input ("-batch -" reads the
 // queries from standard input instead; the graph must then come from a
 // file). Each query line lists the terminal node labels of one query,
-// whitespace-separated ('#' starts a comment). See internal/graphio for
-// the graph format.
+// whitespace-separated ('#' starts a comment); in registry mode the line
+// starts with the scheme name and a colon:
+//
+//	library: reader book
+//	payroll: ename floor
+//
+// Per-query failures (unknown labels, disconnected terminals, deadline
+// expiry, ...) do not abort the batch: each one is reported on standard
+// error with its query-file line number, the remaining queries still run,
+// and the process exits with status 2 (status 1 is reserved for fatal
+// errors such as an unreadable graph). -timeout bounds the whole batch;
+// the solvers observe the deadline inside their hot loops.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -34,15 +52,33 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		var be *batchError
+		if errors.As(err, &be) {
+			fmt.Fprintln(os.Stderr, "chordalctl:", err)
+			os.Exit(2)
+		}
 		fatal(err)
 	}
 }
 
+// batchError reports how many queries of a batch failed; it maps to exit
+// status 2 so scripts can tell per-query failures (some answers are still
+// usable) from fatal errors (status 1, nothing ran).
+type batchError struct {
+	failed, total int
+}
+
+func (e *batchError) Error() string {
+	return fmt.Sprintf("%d of %d queries failed (diagnostics above)", e.failed, e.total)
+}
+
 // run implements the tool; factored out of main for tests.
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	hyper, jsonOut := false, false
-	batch, workers := "", 0
+	batch, registry := "", ""
+	workers := 0
+	var timeout time.Duration
 	var files []string
 	for i := 0; i < len(args); i++ {
 		switch a := args[i]; a {
@@ -56,6 +92,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				return fmt.Errorf("-batch needs a query file argument")
 			}
 			batch = args[i]
+		case "-registry", "--registry":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-registry needs a name=file[,name=file...] argument")
+			}
+			registry = args[i]
 		case "-workers", "--workers":
 			i++
 			if i >= len(args) {
@@ -66,10 +108,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				return fmt.Errorf("-workers: %v", err)
 			}
 			workers = n
+		case "-timeout", "--timeout":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-timeout needs a duration argument")
+			}
+			d, err := time.ParseDuration(args[i])
+			if err != nil {
+				return fmt.Errorf("-timeout: %v", err)
+			}
+			timeout = d
 		default:
 			files = append(files, a)
 		}
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	if registry != "" {
+		return runRegistry(ctx, registry, batch, stdin, stdout, stderr, workers, hyper)
+	}
+
 	in := stdin
 	if len(files) > 0 {
 		f, err := os.Open(files[0])
@@ -79,19 +142,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	var b *bipartite.Graph
-	if hyper {
-		h, err := graphio.ReadHypergraph(in)
-		if err != nil {
-			return err
-		}
-		b = bipartite.FromHypergraph(h).B
-	} else {
-		var err error
-		b, err = graphio.ReadBipartite(in)
-		if err != nil {
-			return err
-		}
+	b, err := readScheme(in, hyper)
+	if err != nil {
+		return err
 	}
 
 	if batch != "" {
@@ -106,15 +159,51 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		} else if len(files) == 0 {
 			return fmt.Errorf("-batch -: queries on stdin require the graph from a file")
 		}
-		return runBatch(b, qin, stdout, workers)
+		svc := core.Open(b)
+		queries, err := parseQueries(qin, false, func(name string) (*core.Service, error) {
+			return svc, nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := answerBatch(ctx, queries, stdout, stderr, workers); err != nil {
+			return err
+		}
+		st := svc.Stats()
+		fmt.Fprintf(stdout, "answered %d queries (%d cache hits, %d misses)\n",
+			len(queries), st.Hits, st.Misses)
+		if n := countFailed(queries); n > 0 {
+			return &batchError{failed: n, total: len(queries)}
+		}
+		return nil
 	}
 
 	if jsonOut {
 		return graphio.WriteReport(stdout, b)
 	}
+	describeScheme(stdout, core.New(b))
+	return nil
+}
+
+// readScheme reads a bipartite graph, or a hypergraph rendered as its
+// incidence graph when hyper is set.
+func readScheme(in io.Reader, hyper bool) (*bipartite.Graph, error) {
+	if hyper {
+		h, err := graphio.ReadHypergraph(in)
+		if err != nil {
+			return nil, err
+		}
+		return bipartite.FromHypergraph(h).B, nil
+	}
+	return graphio.ReadBipartite(in)
+}
+
+// describeScheme prints the classification report for one compiled scheme
+// (taking the Connector avoids recompiling what the caller already has).
+func describeScheme(stdout io.Writer, conn *core.Connector) {
+	b := conn.Graph()
 	fmt.Fprintf(stdout, "graph: %d nodes (%d in V1, %d in V2), %d arcs\n",
 		b.N(), len(b.V1()), len(b.V2()), b.M())
-	conn := core.New(b)
 	fmt.Fprint(stdout, conn.Describe())
 
 	h1 := b.HypergraphV1().H
@@ -123,19 +212,90 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "H2 (nodes=V2, edges=V1 neighbourhoods): %s\n", h2.Classify())
 	printWitnesses(stdout, "H1", h1)
 	printWitnesses(stdout, "H2", h2)
+}
+
+// runRegistry loads every name=file scheme into a core.Registry and either
+// describes the catalog (no -batch) or serves the query batch against it.
+func runRegistry(ctx context.Context, spec, batch string, stdin io.Reader, stdout, stderr io.Writer, workers int, hyper bool) error {
+	reg := core.NewRegistry()
+	for _, pair := range strings.Split(spec, ",") {
+		name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || file == "" {
+			return fmt.Errorf("-registry: bad scheme spec %q (want name=file)", pair)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		b, err := readScheme(f, hyper)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("scheme %q: %w", name, err)
+		}
+		reg.Set(name, b)
+	}
+
+	if batch == "" {
+		for _, name := range reg.Names() {
+			svc, _ := reg.Get(name)
+			fmt.Fprintf(stdout, "=== scheme %q (epoch %d)\n", name, reg.Epoch(name))
+			describeScheme(stdout, svc.Connector())
+		}
+		return nil
+	}
+
+	qin := stdin
+	if batch != "-" {
+		qf, err := os.Open(batch)
+		if err != nil {
+			return err
+		}
+		defer qf.Close()
+		qin = qf
+	}
+	queries, err := parseQueries(qin, true, func(name string) (*core.Service, error) {
+		if name == "" {
+			return nil, fmt.Errorf("registry mode needs a \"scheme:\" prefix on every query line")
+		}
+		svc, ok := reg.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name)
+		}
+		return svc, nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := answerBatch(ctx, queries, stdout, stderr, workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "answered %d queries over %d schemes\n", len(queries), reg.Len())
+	if n := countFailed(queries); n > 0 {
+		return &batchError{failed: n, total: len(queries)}
+	}
 	return nil
 }
 
-// runBatch compiles the scheme once and answers every query line
-// concurrently through a cached core.Service, printing the answers in
-// query order.
-func runBatch(b *bipartite.Graph, queries io.Reader, stdout io.Writer, workers int) error {
-	conn := core.New(b)
-	svc := core.NewService(conn, workers, 0)
+// batchQuery is one parsed query line and, after answerBatch, its outcome.
+type batchQuery struct {
+	lineNo  int
+	display string        // the query as the user wrote it (for diagnostics)
+	svc     *core.Service // scheme it runs against; nil when resolution failed
+	terms   []int
+	err     error // parse/resolve error, later the query outcome
+	conn    core.Connection
+}
 
-	var terms [][]int
-	var lines []string
-	sc := bufio.NewScanner(queries)
+// parseQueries reads one query per line ('#' comments, blank lines
+// skipped). With prefixed set (registry mode) each line starts with a
+// "scheme:" prefix, which resolve maps to the Service answering the line
+// ("" when absent); without it the whole line is terminal labels, so
+// labels containing ':' stay intact. Label resolution uses the resolved
+// scheme's graph. Resolution and label failures are recorded per query,
+// not returned — only I/O errors abort.
+func parseQueries(r io.Reader, prefixed bool, resolve func(scheme string) (*core.Service, error)) ([]batchQuery, error) {
+	var queries []batchQuery
+	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -143,39 +303,100 @@ func runBatch(b *bipartite.Graph, queries io.Reader, stdout io.Writer, workers i
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		labels := strings.Fields(line)
-		if len(labels) == 0 {
+		scheme := ""
+		rest := line
+		if prefixed {
+			if name, after, ok := strings.Cut(line, ":"); ok {
+				scheme, rest = strings.TrimSpace(name), after
+			}
+		}
+		labels := strings.Fields(rest)
+		if scheme == "" && len(labels) == 0 {
 			continue
 		}
-		q := make([]int, len(labels))
-		for i, l := range labels {
-			id, ok := b.G().ID(l)
-			if !ok {
-				return fmt.Errorf("query line %d: unknown node label %q", lineNo, l)
-			}
-			q[i] = id
+		q := batchQuery{lineNo: lineNo, display: strings.Join(labels, " ")}
+		if scheme != "" {
+			q.display = scheme + ": " + q.display
 		}
-		terms = append(terms, q)
-		lines = append(lines, strings.Join(labels, " "))
+		svc, err := resolve(scheme)
+		if err != nil {
+			q.err = err
+			queries = append(queries, q)
+			continue
+		}
+		q.svc = svc
+		g := svc.Connector().Graph().G()
+		q.terms = make([]int, 0, len(labels))
+		for _, l := range labels {
+			id, ok := g.ID(l)
+			if !ok {
+				q.err = fmt.Errorf("unknown node label %q", l)
+				break
+			}
+			q.terms = append(q.terms, id)
+		}
+		queries = append(queries, q)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
+	return queries, nil
+}
 
-	results := svc.ConnectBatch(terms)
-	for i, r := range results {
-		if r.Err != nil {
-			fmt.Fprintf(stdout, "query %d [%s]: error: %v\n", i+1, lines[i], r.Err)
+// answerBatch answers the well-formed queries concurrently (bounded by
+// workers, defaulting to GOMAXPROCS like Service.ConnectBatch), then
+// prints answers to stdout in query order and line-numbered diagnostics
+// for every failure to stderr.
+func answerBatch(ctx context.Context, queries []batchQuery, stdout, stderr io.Writer, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := &queries[i]
+				if q.err != nil {
+					continue
+				}
+				q.conn, q.err = q.svc.Connect(ctx, q.terms)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, q := range queries {
+		if q.err != nil {
+			fmt.Fprintf(stderr, "chordalctl: query %d (line %d) [%s]: %v\n", i+1, q.lineNo, q.display, q.err)
 			continue
 		}
+		g := q.svc.Connector().Graph().G()
 		fmt.Fprintf(stdout, "query %d [%s]: method=%s nodes=%d {%s}\n",
-			i+1, lines[i], r.Conn.Method, r.Conn.Tree.Nodes.Len(),
-			strings.Join(b.G().Labels(r.Conn.Tree.Nodes), " "))
+			i+1, q.display, q.conn.Method, q.conn.Tree.Nodes.Len(),
+			strings.Join(g.Labels(q.conn.Tree.Nodes), " "))
 	}
-	st := svc.Stats()
-	fmt.Fprintf(stdout, "answered %d queries (%d cache hits, %d misses)\n",
-		len(results), st.Hits, st.Misses)
 	return nil
+}
+
+// countFailed counts queries whose outcome is an error.
+func countFailed(queries []batchQuery) int {
+	n := 0
+	for _, q := range queries {
+		if q.err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func printWitnesses(w io.Writer, name string, h *hypergraph.Hypergraph) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,8 +26,8 @@ edge C 1   # the single chord
 `
 
 func TestRunBipartite(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(fig3cInput), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -42,9 +43,9 @@ func TestRunBipartite(t *testing.T) {
 }
 
 func TestRunHypergraph(t *testing.T) {
-	var out bytes.Buffer
+	var out, errOut bytes.Buffer
 	in := "edge e1 a b\nedge e2 b c\nedge e3 c a\n"
-	if err := run([]string{"-hypergraph"}, strings.NewReader(in), &out); err != nil {
+	if err := run([]string{"-hypergraph"}, strings.NewReader(in), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "conformality witness") {
@@ -58,8 +59,8 @@ func TestRunFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("v1 a\nv2 r\nedge a r\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out bytes.Buffer
-	if err := run([]string{path}, nil, &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{path}, nil, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "graph: 2 nodes") {
@@ -68,8 +69,8 @@ func TestRunFromFile(t *testing.T) {
 }
 
 func TestRunJSON(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-json"}, strings.NewReader(fig3cInput), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "\"h1Degree\": \"beta-acyclic\"") {
@@ -78,11 +79,11 @@ func TestRunJSON(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("bogus"), &out); err == nil {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader("bogus"), &out, &errOut); err == nil {
 		t.Error("bad input accepted")
 	}
-	if err := run([]string{"/nonexistent/file"}, nil, &out); err == nil {
+	if err := run([]string{"/nonexistent/file"}, nil, &out, &errOut); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -98,8 +99,8 @@ A C          # duplicate: answered from the cache
 	if err := os.WriteFile(qpath, []byte(queries), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out bytes.Buffer
-	if err := run([]string{"-batch", qpath, "-workers", "2"}, strings.NewReader(fig3cInput), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-batch", qpath, "-workers", "2"}, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -118,6 +119,9 @@ A C          # duplicate: answered from the cache
 	if got1, got3 := strings.TrimPrefix(lines[0], "query 1 "), strings.TrimPrefix(lines[2], "query 3 "); got1 != got3 {
 		t.Errorf("duplicate queries answered differently:\n%s\n%s", got1, got3)
 	}
+	if errOut.Len() != 0 {
+		t.Errorf("healthy batch should not write to stderr:\n%s", errOut.String())
+	}
 }
 
 func TestRunBatchQueriesOnStdin(t *testing.T) {
@@ -126,8 +130,8 @@ func TestRunBatchQueriesOnStdin(t *testing.T) {
 	if err := os.WriteFile(gpath, []byte(fig3cInput), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out bytes.Buffer
-	if err := run([]string{"-batch", "-", gpath}, strings.NewReader("A C\n"), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-batch", "-", gpath}, strings.NewReader("A C\n"), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "answered 1 queries") {
@@ -135,20 +139,89 @@ func TestRunBatchQueriesOnStdin(t *testing.T) {
 	}
 }
 
-func TestRunBatchErrors(t *testing.T) {
-	var out bytes.Buffer
+// TestRunBatchPerQueryFailures pins the v2 failure contract: a failing
+// query gets a line-numbered diagnostic on stderr, the remaining queries
+// still run and print to stdout, and run returns a batchError (exit
+// status 2) rather than a fatal error.
+func TestRunBatchPerQueryFailures(t *testing.T) {
 	dir := t.TempDir()
 	qpath := filepath.Join(dir, "q.txt")
-	if err := os.WriteFile(qpath, []byte("A NOPE\n"), 0o644); err != nil {
+	queries := "A C\n\nA NOPE   # unknown label\nA C B\n"
+	if err := os.WriteFile(qpath, []byte(queries), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-batch", qpath}, strings.NewReader(fig3cInput), &out); err == nil {
-		t.Error("unknown query label accepted")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-batch", qpath}, strings.NewReader(fig3cInput), &out, &errOut)
+	var be *batchError
+	if !errors.As(err, &be) || be.failed != 1 || be.total != 3 {
+		t.Fatalf("expected a 1/3 batchError, got %v", err)
 	}
-	if err := run([]string{"-batch"}, strings.NewReader(fig3cInput), &out); err == nil {
+	if !strings.Contains(errOut.String(), "query 2 (line 3) [A NOPE]") ||
+		!strings.Contains(errOut.String(), "unknown node label") {
+		t.Errorf("stderr diagnostic missing line number:\n%s", errOut.String())
+	}
+	if strings.Contains(out.String(), "NOPE") {
+		t.Errorf("failure folded into stdout:\n%s", out.String())
+	}
+	for _, want := range []string{"query 1 [A C]:", "query 3 [A C B]:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("surviving query missing from stdout: %q\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-batch"}, strings.NewReader(fig3cInput), &out, &errOut); err == nil {
 		t.Error("-batch without argument accepted")
 	}
-	if err := run([]string{"-batch", "-"}, strings.NewReader(fig3cInput), &out); err == nil {
+	if err := run([]string{"-batch", "-"}, strings.NewReader(fig3cInput), &out, &errOut); err == nil {
 		t.Error("-batch - without a graph file accepted")
+	}
+}
+
+// TestRunRegistry serves two named schemes from one process and routes
+// each query line by its scheme prefix.
+func TestRunRegistry(t *testing.T) {
+	dir := t.TempDir()
+	g1 := filepath.Join(dir, "fig3c.txt")
+	if err := os.WriteFile(g1, []byte(fig3cInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2 := filepath.Join(dir, "tiny.txt")
+	if err := os.WriteFile(g2, []byte("v1 x\nv1 y\nv2 r\nedge x r\nedge y r\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qpath := filepath.Join(dir, "q.txt")
+	queries := "fig: A C\ntiny: x y\nghost: x y   # unknown scheme\n"
+	if err := os.WriteFile(qpath, []byte(queries), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	err := run([]string{"-registry", "fig=" + g1 + ",tiny=" + g2, "-batch", qpath}, nil, &out, &errOut)
+	var be *batchError
+	if !errors.As(err, &be) || be.failed != 1 {
+		t.Fatalf("expected one failed query, got %v", err)
+	}
+	for _, want := range []string{"query 1 [fig: A C]:", "query 2 [tiny: x y]:", "answered 3 queries over 2 schemes"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("registry output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "unknown scheme") {
+		t.Errorf("unknown scheme not diagnosed:\n%s", errOut.String())
+	}
+
+	// Without -batch, registry mode describes every scheme.
+	out.Reset()
+	if err := run([]string{"-registry", "fig=" + g1 + ",tiny=" + g2}, nil, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `scheme "fig" (epoch 1)`) ||
+		!strings.Contains(out.String(), `scheme "tiny" (epoch 1)`) {
+		t.Errorf("registry describe output unexpected:\n%s", out.String())
+	}
+	if err := run([]string{"-registry", "broken"}, nil, &out, &errOut); err == nil {
+		t.Error("bad -registry spec accepted")
 	}
 }

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	steinerctl -terminals A,B,C [-interpretations n] [file]
+//	steinerctl -terminals A,B,C [-interpretations n] [-timeout d] [file]
+//
+// -timeout bounds the whole query (solvers check the deadline in their hot
+// loops); on expiry the tool fails with context.DeadlineExceeded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,8 +36,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("steinerctl", flag.ContinueOnError)
 	termFlag := fs.String("terminals", "", "comma-separated node names to connect (required)")
 	interps := fs.Int("interpretations", 0, "also list up to n ranked interpretations")
+	timeout := fs.Duration("timeout", 0, "overall query deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *termFlag == "" {
 		return fmt.Errorf("-terminals is required")
@@ -64,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	conn := core.New(b)
 	fmt.Fprint(stdout, conn.Describe())
-	answer, err := conn.Connect(terminals)
+	answer, err := conn.Connect(ctx, terminals)
 	if err != nil {
 		return err
 	}
@@ -81,8 +92,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "guarantees: total-minimum=%v V2-minimum=%v\n", answer.Optimal, answer.V2Optimal)
 
 	if *interps > 0 {
+		list, err := conn.Interpretations(ctx, terminals, g.N(), *interps)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(stdout, "ranked interpretations:")
-		for i, in := range conn.Interpretations(terminals, g.N(), *interps) {
+		for i, in := range list {
 			fmt.Fprintf(stdout, "  %d. %s (auxiliary: %s)\n", i+1,
 				strings.Join(g.Labels(in.Nodes), " "),
 				strings.Join(g.Labels(in.Auxiliary), " "))

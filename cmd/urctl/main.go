@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	urctl -query ename,building [-where floor=2] [-interpretations 3] [file]
+//	urctl -query ename,building [-where floor=2] [-interpretations 3] [-timeout d] [file]
 //
 // The plan minimizes the number of relations when the scheme's class
 // admits it (Theorem 3 / Theorem 5); -where conditions are pushed down
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,8 +38,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	queryFlag := fs.String("query", "", "comma-separated attribute/relation names (required)")
 	whereFlag := fs.String("where", "", "comma-separated attr=value conditions")
 	interps := fs.Int("interpretations", 0, "also list up to n ranked interpretations")
+	timeout := fs.Duration("timeout", 0, "overall query deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *queryFlag == "" {
 		return fmt.Errorf("-query is required")
@@ -78,9 +86,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var result *relational.Relation
 	var plan ur.Plan
 	if len(conds) > 0 {
-		result, plan, err = u.AnswerWhere(query, conds)
+		result, plan, err = u.AnswerWhere(ctx, query, conds)
 	} else {
-		result, plan, err = u.Answer(query)
+		result, plan, err = u.Answer(ctx, query)
 	}
 	if err != nil {
 		return err
@@ -94,7 +102,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *interps > 0 {
-		list, err := u.Interpretations(query, *interps)
+		list, err := u.Interpretations(ctx, query, *interps)
 		if err != nil {
 			return err
 		}

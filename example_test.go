@@ -1,6 +1,7 @@
 package chordal_test
 
 import (
+	"context"
 	"fmt"
 
 	chordal "repro"
@@ -32,7 +33,7 @@ func Example() {
 	// total node count — exactly the distinction the paper's remark after
 	// Corollary 4 makes on this very graph.
 	conn := chordal.NewConnector(b)
-	answer, err := conn.Connect(g.IDs("A", "B"))
+	answer, err := conn.Connect(context.Background(), g.IDs("A", "B"))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

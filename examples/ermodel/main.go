@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,7 +33,7 @@ func main() {
 		{"NAME", "BUDGET"},
 		{"DEPARTMENT", "NAME"},
 	} {
-		interps, err := s.Interpretations(query, 3)
+		interps, err := s.Interpretations(context.Background(), query, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

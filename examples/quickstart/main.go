@@ -1,13 +1,16 @@
 // Quickstart: build a bipartite conceptual scheme, classify it against the
-// paper's chordality taxonomy, and answer a minimal-connection query.
+// paper's chordality taxonomy, and answer minimal-connection queries with
+// the v2 API — Open once, then context-aware, option-driven Connect calls.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	chordal "repro"
 	"repro/internal/steiner"
@@ -33,14 +36,20 @@ func main() {
 		}
 	}
 
-	// Classify once; the connector picks the strongest applicable
-	// algorithm for every query (Theorems 3 and 5).
-	conn := chordal.NewConnector(b)
+	// Compile + classify once; the service picks the strongest applicable
+	// algorithm for every query (Theorems 3 and 5), caches answers, and
+	// honors deadlines inside the solvers.
+	svc := chordal.Open(b, chordal.WithCacheSize(256))
+	conn := svc.Connector()
 	fmt.Print(conn.Describe())
 
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
 	// "Connect reader and author": which relations must a query over
-	// those attributes join?
-	answer, err := conn.Connect([]int{attrs["reader"], attrs["author"]})
+	// those attributes join? Ask for ranked alternatives in the same call.
+	answer, err := svc.Connect(ctx, []int{attrs["reader"], attrs["author"]},
+		chordal.WithInterpretations(b.G().N(), 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +62,12 @@ func main() {
 
 	// Ranked alternatives, most immediate interpretation first.
 	fmt.Println("\nranked interpretations:")
-	for i, in := range conn.Interpretations([]int{attrs["reader"], attrs["author"]}, g.N(), 3) {
+	for i, in := range answer.Interps {
 		fmt.Printf("  %d. %s\n", i+1, strings.Join(g.Labels(in.Nodes), " "))
+	}
+
+	// Malformed queries are rejected at the boundary with typed errors.
+	if _, err := svc.Connect(ctx, []int{attrs["reader"], attrs["reader"]}); err != nil {
+		fmt.Printf("\nduplicate terminal rejected: %v\n", err)
 	}
 }

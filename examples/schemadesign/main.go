@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -58,7 +59,7 @@ func main() {
 		{"supplier", "warehouse"},
 		{"project", "warehouse"},
 	} {
-		plan, err := u.Plan(q)
+		plan, err := u.Plan(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

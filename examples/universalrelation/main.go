@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -61,7 +62,7 @@ func main() {
 		{"budget", "floor", "ename"}, // three terminals
 	}
 	for _, q := range queries {
-		res, plan, err := u.Answer(q)
+		res, plan, err := u.Answer(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func main() {
 	// Disambiguation: plural readings of an ambiguous query, minimal
 	// first.
 	fmt.Println("interpretations of {ename, floor}:")
-	interps, err := u.Interpretations([]string{"ename", "floor"}, 3)
+	interps, err := u.Interpretations(context.Background(), []string{"ename", "floor"}, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

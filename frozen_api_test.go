@@ -1,6 +1,7 @@
 package chordal_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestFacadeFrozenService(t *testing.T) {
 	if conn.Frozen() == nil {
 		t.Fatal("connector should expose its frozen view")
 	}
-	svc := chordal.NewService(conn, 4, 8)
+	svc := chordal.NewService(conn, 4, 8) // deprecated shim still serves
 
 	queries := [][]int{
 		{v1[0], v1[3]},
@@ -52,7 +53,7 @@ func TestFacadeFrozenService(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = svc.ConnectBatch(queries)
+			results[w] = svc.ConnectBatch(context.Background(), queries)
 		}(w)
 	}
 	wg.Wait()

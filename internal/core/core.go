@@ -16,6 +16,22 @@
 // Connector also enumerates ranked alternative interpretations of a query
 // (the interactive-disambiguation loop sketched in the introduction).
 //
+// # The v2 query model
+//
+// Every query entry point takes a context.Context first and functional
+// options last:
+//
+//	conn := core.New(b, core.WithExactLimit(10))
+//	answer, err := conn.Connect(ctx, terminals, core.WithInterpretations(3, 5))
+//
+// The context is plumbed into the solvers' hot loops — the exponential
+// Dreyfus–Wagner program checks it per terminal subset, the elimination
+// passes every few removals — so a deadline bounds tail latency rather
+// than being noticed after the fact; on expiry Connect returns
+// context.DeadlineExceeded. Terminals are validated at the boundary
+// (ErrEmptyQuery, ErrInvalidTerminal, ErrTooManyTerminals in errors.go)
+// before any solver runs.
+//
 // # Frozen-view serving architecture
 //
 // New compiles the scheme once: it freezes the bipartite graph into the
@@ -26,13 +42,14 @@
 // concurrent Connect calls — the scheme passed to New must simply not be
 // mutated afterwards (the classify-once contract).
 //
-// Service wraps a Connector for query-many workloads: ConnectBatch fans a
-// query batch out over a bounded worker pool, and an LRU cache keyed on the
-// canonical terminal set makes repeated or overlapping queries (the paper's
-// interactive-disambiguation loop) cache hits instead of Steiner reruns.
+// Service wraps a Connector for query-many workloads (see service.go), and
+// Registry (registry.go) serves many named schemes from one process with
+// atomic compile-and-swap updates.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bipartite"
@@ -41,7 +58,8 @@ import (
 	"repro/internal/steiner"
 )
 
-// Method identifies which algorithm produced a connection.
+// Method identifies which algorithm produced a connection (see also
+// MethodAuto in options.go, the Connect default).
 type Method int
 
 // Methods, strongest guarantee first.
@@ -55,6 +73,8 @@ const (
 // String names the method.
 func (m Method) String() string {
 	switch m {
+	case MethodAuto:
+		return "auto"
 	case MethodAlgorithm2:
 		return "algorithm-2"
 	case MethodAlgorithm1:
@@ -74,7 +94,16 @@ type Connection struct {
 	Optimal   bool   // total node count is guaranteed minimum
 	V2Optimal bool   // the number of V2 nodes is guaranteed minimum
 	Rationale string // which classification/theorem justified the method
+	// Interps holds the ranked alternative interpretations when the query
+	// asked for them (WithInterpretations); nil otherwise.
+	Interps []Interpretation
 }
+
+// DefaultExactLimit is the terminal count up to which schemes without a
+// polynomial guarantee are answered exactly (Dreyfus–Wagner) rather than
+// by the 2-approximation. Override per connector with WithExactLimit or
+// per query with WithQueryExactLimit.
+const DefaultExactLimit = 12
 
 // Connector answers minimal-connection queries over a fixed scheme. It is
 // built on the frozen CSR view, so concurrent Connect calls need no
@@ -83,16 +112,28 @@ type Connector struct {
 	b     *bipartite.Graph
 	fb    *bipartite.Frozen
 	class chordality.Class
-	// ExactLimit bounds the terminal count for which the exact solver is
-	// used on hard classes; above it the heuristic answers. Default 12.
-	ExactLimit int
+	cfg   config
 }
 
 // New compiles the scheme once — freeze + classify, both polynomial — and
-// returns a Connector answering queries on the frozen view.
-func New(b *bipartite.Graph) *Connector {
+// returns a Connector answering queries on the frozen view. Recognized
+// options: WithExactLimit, WithMaxTerminals, WithV1TerminalsOnly.
+func New(b *bipartite.Graph, opts ...Option) *Connector {
+	cfg := config{exactLimit: DefaultExactLimit}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.exactLimit <= 0 {
+		cfg.exactLimit = DefaultExactLimit
+	}
 	fb := b.Freeze()
-	return &Connector{b: b, fb: fb, class: chordality.ClassifyFrozen(fb), ExactLimit: 12}
+	return &Connector{b: b, fb: fb, class: chordality.ClassifyFrozen(fb), cfg: cfg}
+}
+
+// Open compiles the scheme and wraps it for concurrent serving in one
+// call: Open(b, opts...) ≡ NewService(New(b, opts...), opts...).
+func Open(b *bipartite.Graph, opts ...Option) *Service {
+	return NewService(New(b, opts...), opts...)
 }
 
 // Class returns the scheme's chordality classification.
@@ -104,54 +145,137 @@ func (c *Connector) Graph() *bipartite.Graph { return c.b }
 // Frozen returns the compiled scheme view queries are answered on.
 func (c *Connector) Frozen() *bipartite.Frozen { return c.fb }
 
+// ExactLimit returns the connector's exact-solver dispatch threshold.
+func (c *Connector) ExactLimit() int { return c.cfg.exactLimit }
+
+// Validate applies the boundary checks Connect performs — non-empty,
+// in-range, duplicate-free, within the terminal budget, on an allowed
+// partition — without running a solver.
+func (c *Connector) Validate(terminals []int) error {
+	return validateTerminals(c.fb, terminals, c.cfg.maxTerminals, c.cfg.v1Only)
+}
+
 // Connect returns a minimal connection over the terminals, dispatched by
-// the scheme's class.
-func (c *Connector) Connect(terminals []int) (Connection, error) {
-	switch {
-	case c.class.Chordal62:
-		tree, err := steiner.Algorithm2Frozen(c.fb.G(), terminals)
+// the scheme's class (or forced by WithMethod). It honors ctx deadlines
+// inside the solvers and validates the terminals before dispatch.
+func (c *Connector) Connect(ctx context.Context, terminals []int, opts ...QueryOption) (Connection, error) {
+	return c.connect(ctx, terminals, newQueryConfig(opts))
+}
+
+// connect is Connect after option folding.
+func (c *Connector) connect(ctx context.Context, terminals []int, q queryConfig) (Connection, error) {
+	if err := c.Validate(terminals); err != nil {
+		return Connection{}, err
+	}
+	return c.connectValidated(ctx, terminals, q)
+}
+
+// connectValidated is connect minus the boundary checks — the entry point
+// for Service, which validates once itself before consulting the cache.
+func (c *Connector) connectValidated(ctx context.Context, terminals []int, q queryConfig) (Connection, error) {
+	if err := ctx.Err(); err != nil {
+		return Connection{}, err
+	}
+	conn, err := c.dispatch(ctx, terminals, q)
+	if err != nil {
+		return Connection{}, err
+	}
+	if q.interpLimit > 0 {
+		interps, err := c.interpretations(ctx, terminals, q.maxAux, q.interpLimit)
 		if err != nil {
 			return Connection{}, err
 		}
-		// A node-minimum tree need not minimize the V2 count. Since
-		// (6,2)-chordal ⟹ (6,1)-chordal ⟹ V1-chordal ∧ V1-conformal
-		// (Corollary 2), Algorithm 1 also applies here: use it to certify
-		// (or refute) V2-minimality of the Theorem 5 tree.
-		v2Optimal := false
-		if t1, err := steiner.Algorithm1Frozen(c.fb, terminals); err == nil {
-			v2Optimal = steiner.V2Count(c.b, tree) == steiner.V2Count(c.b, t1)
+		conn.Interps = interps
+	}
+	return conn, nil
+}
+
+// dispatch picks the solver — by classification for MethodAuto, as forced
+// otherwise — and stamps the guarantee flags the scheme's class actually
+// supports (a forced method never claims an optimality the class does not
+// prove).
+func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig) (Connection, error) {
+	m := q.method
+	if m == MethodAuto {
+		exactLimit := q.exactLimit
+		if exactLimit <= 0 {
+			exactLimit = c.cfg.exactLimit
 		}
-		return Connection{
-			Tree: tree, Method: MethodAlgorithm2, Optimal: true, V2Optimal: v2Optimal,
-			Rationale: "(6,2)-chordal scheme: every nonredundant cover is minimum (Theorem 5)",
-		}, nil
-	case c.class.AlphaV1():
-		tree, err := steiner.Algorithm1Frozen(c.fb, terminals)
+		// Clamp to the solver's hard cap so a generous WithExactLimit keeps
+		// its contract: queries the exact solver would refuse fall back to
+		// the heuristic instead of failing with ErrTooManyTerminals.
+		if exactLimit > steiner.ExactTerminalLimit {
+			exactLimit = steiner.ExactTerminalLimit
+		}
+		switch {
+		case c.class.Chordal62:
+			m = MethodAlgorithm2
+		case c.class.AlphaV1():
+			m = MethodAlgorithm1
+		case len(terminals) <= exactLimit:
+			m = MethodExact
+		default:
+			m = MethodHeuristic
+		}
+	}
+	switch m {
+	case MethodAlgorithm2:
+		tree, err := steiner.Algorithm2Frozen(ctx, c.fb.G(), terminals)
 		if err != nil {
 			return Connection{}, err
 		}
-		return Connection{
-			Tree: tree, Method: MethodAlgorithm1, Optimal: false, V2Optimal: true,
-			Rationale: "V1-chordal, V1-conformal scheme (alpha-acyclic H¹): minimal number of relations via the Lemma 1 elimination ordering (Theorem 3); total minimality is NP-complete here (Theorem 2)",
-		}, nil
-	case len(terminals) <= c.ExactLimit:
-		tree, err := steiner.ExactFrozen(c.fb.G(), terminals)
+		conn := Connection{Tree: tree, Method: MethodAlgorithm2, Optimal: c.class.Chordal62}
+		if c.class.Chordal62 {
+			// A node-minimum tree need not minimize the V2 count. Since
+			// (6,2)-chordal ⟹ (6,1)-chordal ⟹ V1-chordal ∧ V1-conformal
+			// (Corollary 2), Algorithm 1 also applies here: use it to certify
+			// (or refute) V2-minimality of the Theorem 5 tree.
+			if t1, err1 := steiner.Algorithm1Frozen(ctx, c.fb, terminals); err1 == nil {
+				conn.V2Optimal = steiner.V2Count(c.b, tree) == steiner.V2Count(c.b, t1)
+			} else if err := ctx.Err(); err != nil {
+				return Connection{}, err
+			}
+			conn.Rationale = "(6,2)-chordal scheme: every nonredundant cover is minimum (Theorem 5)"
+		} else {
+			conn.Rationale = "forced algorithm-2: single-pass elimination without the (6,2)-chordal minimality guarantee"
+		}
+		return conn, nil
+	case MethodAlgorithm1:
+		tree, err := steiner.Algorithm1Frozen(ctx, c.fb, terminals)
 		if err != nil {
 			return Connection{}, err
 		}
+		conn := Connection{Tree: tree, Method: MethodAlgorithm1, V2Optimal: c.class.AlphaV1()}
+		if c.class.AlphaV1() {
+			conn.Rationale = "V1-chordal, V1-conformal scheme (alpha-acyclic H¹): minimal number of relations via the Lemma 1 elimination ordering (Theorem 3); total minimality is NP-complete here (Theorem 2)"
+		} else {
+			conn.Rationale = "forced algorithm-1 on the terminals' alpha-acyclic component, without the scheme-wide Theorem 3 guarantee"
+		}
+		return conn, nil
+	case MethodExact:
+		tree, err := steiner.ExactFrozen(ctx, c.fb.G(), terminals)
+		if err != nil {
+			if errors.Is(err, steiner.ErrTooManyTerminals) {
+				return Connection{}, fmt.Errorf("%w: %d terminals exceed the exact solver's hard limit of %d",
+					ErrTooManyTerminals, len(terminals), steiner.ExactTerminalLimit)
+			}
+			return Connection{}, err
+		}
 		return Connection{
-			Tree: tree, Method: MethodExact, Optimal: true, V2Optimal: false,
+			Tree: tree, Method: MethodExact, Optimal: true,
 			Rationale: fmt.Sprintf("no chordality guarantee: exact search over %d terminals (exponential, Theorem 2 forbids better in general)", len(terminals)),
 		}, nil
-	default:
-		tree, err := steiner.ApproximateFrozen(c.fb.G(), terminals)
+	case MethodHeuristic:
+		tree, err := steiner.ApproximateFrozen(ctx, c.fb.G(), terminals)
 		if err != nil {
 			return Connection{}, err
 		}
 		return Connection{
-			Tree: tree, Method: MethodHeuristic, Optimal: false, V2Optimal: false,
+			Tree: tree, Method: MethodHeuristic,
 			Rationale: "no chordality guarantee and too many terminals for exact search: metric-closure 2-approximation",
 		}, nil
+	default:
+		return Connection{}, fmt.Errorf("core: unknown method %v", m)
 	}
 }
 
@@ -169,16 +293,27 @@ type Interpretation struct {
 // nonredundant covers with at most maxAux auxiliary nodes, up to limit
 // results, smallest first (ties broken canonically).
 //
-// The enumeration (steiner.RankedCovers) is exponential in maxAux, matching
-// the interactive use-case of schema-sized graphs.
-func (c *Connector) Interpretations(terminals []int, maxAux, limit int) []Interpretation {
+// The enumeration (steiner.RankedCovers) is exponential in maxAux,
+// matching the interactive use-case of schema-sized graphs; ctx bounds it,
+// and the terminals are validated at the boundary like Connect's.
+func (c *Connector) Interpretations(ctx context.Context, terminals []int, maxAux, limit int) ([]Interpretation, error) {
+	if err := c.Validate(terminals); err != nil {
+		return nil, err
+	}
+	return c.interpretations(ctx, terminals, maxAux, limit)
+}
+
+func (c *Connector) interpretations(ctx context.Context, terminals []int, maxAux, limit int) ([]Interpretation, error) {
 	p := intset.FromSlice(terminals)
-	covers := steiner.RankedCovers(c.b.G(), terminals, maxAux, limit)
+	covers, err := steiner.RankedCovers(ctx, c.b.G(), terminals, maxAux, limit)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Interpretation, len(covers))
 	for i, sel := range covers {
 		out[i] = Interpretation{Nodes: sel, Auxiliary: sel.Diff(p)}
 	}
-	return out
+	return out, nil
 }
 
 // Describe renders the classification for humans (CLI output).

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -20,7 +22,7 @@ func TestDispatchAlgorithm2(t *testing.T) {
 		t.Fatal("Fig3b should classify (6,2)-chordal")
 	}
 	terms := b.G().IDs("A", "C")
-	conn, err := c.Connect(terms)
+	conn, err := c.Connect(context.Background(), terms)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestDispatchAlgorithm1(t *testing.T) {
 		t.Fatalf("Fig2 classification wrong: %+v", c.Class())
 	}
 	terms := b.G().IDs("A", "B", "C")
-	conn, err := c.Connect(terms)
+	conn, err := c.Connect(context.Background(), terms)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,16 +60,15 @@ func TestDispatchExactAndHeuristic(t *testing.T) {
 		t.Fatalf("grid classification wrong: %+v", c.Class())
 	}
 	terms := []int{0, 11}
-	conn, err := c.Connect(terms)
+	conn, err := c.Connect(context.Background(), terms)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if conn.Method != core.MethodExact || !conn.Optimal {
 		t.Errorf("dispatch = %v", conn.Method)
 	}
-	// Force the heuristic by lowering the exact limit.
-	c.ExactLimit = 1
-	conn, err = c.Connect(terms)
+	// Force the heuristic by lowering the exact limit for one query.
+	conn, err = c.Connect(context.Background(), terms, core.WithQueryExactLimit(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +80,29 @@ func TestDispatchExactAndHeuristic(t *testing.T) {
 	}
 }
 
+// TestExactLimitClampedToSolverCap pins WithExactLimit's contract: a limit
+// above the exact solver's hard cap must not turn large auto-dispatched
+// queries into ErrTooManyTerminals — they fall back to the heuristic.
+func TestExactLimitClampedToSolverCap(t *testing.T) {
+	b := gen.GridBipartite(5, 5)
+	c := core.New(b, core.WithExactLimit(steiner.ExactTerminalLimit+5))
+	terms := make([]int, steiner.ExactTerminalLimit+1)
+	for i := range terms {
+		terms[i] = i
+	}
+	conn, err := c.Connect(context.Background(), terms)
+	if err != nil {
+		t.Fatalf("auto dispatch above the solver cap should fall back, got %v", err)
+	}
+	if conn.Method != core.MethodHeuristic {
+		t.Errorf("method = %v, want heuristic", conn.Method)
+	}
+	// Forcing the exact method still surfaces the typed error.
+	if _, err := c.Connect(context.Background(), terms, core.WithMethod(core.MethodExact)); !errors.Is(err, core.ErrTooManyTerminals) {
+		t.Errorf("forced exact above the cap: %v", err)
+	}
+}
+
 func TestConnectErrors(t *testing.T) {
 	b := bipartite.New()
 	a := b.AddV1("a")
@@ -86,7 +110,7 @@ func TestConnectErrors(t *testing.T) {
 	b.AddEdge(a, w)
 	iso := b.AddV1("iso")
 	c := core.New(b)
-	if _, err := c.Connect([]int{a, iso}); err == nil {
+	if _, err := c.Connect(context.Background(), []int{a, iso}); err == nil {
 		t.Error("disconnected terminals accepted")
 	}
 }
@@ -106,7 +130,10 @@ func TestInterpretationsRankedByAuxiliaries(t *testing.T) {
 		b.AddEdge(arc[0], arc[1])
 	}
 	c := core.New(b)
-	interps := c.Interpretations([]int{a, bb}, 4, 10)
+	interps, err := c.Interpretations(context.Background(), []int{a, bb}, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(interps) < 2 {
 		t.Fatalf("interpretations = %v", interps)
 	}
@@ -130,7 +157,10 @@ func TestInterpretationsAgreeWithOptimum(t *testing.T) {
 		g := b.G()
 		terms := []int{0, g.N() - 1}
 		c := core.New(b)
-		interps := c.Interpretations(terms, g.N(), 5)
+		interps, err := c.Interpretations(context.Background(), terms, g.N(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
 		opt := reference.SteinerMinimumNodes(g, terms)
 		if opt == -1 {
 			if len(interps) != 0 {
@@ -191,7 +221,7 @@ func TestConnectAlgorithm1ErrorPath(t *testing.T) {
 	if !c.Class().AlphaV1() {
 		t.Skip("classification changed; not the Algorithm 1 branch")
 	}
-	if _, err := c.Connect([]int{0, iso}); err == nil {
+	if _, err := c.Connect(context.Background(), []int{0, iso}); err == nil {
 		t.Error("disconnected terminals accepted on Algorithm 1 branch")
 	}
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/steiner"
+)
+
+// The v2 query API rejects malformed queries at the boundary with a typed
+// taxonomy instead of letting raw terminal slices flow into the solvers.
+// Every error returned by Connect/ConnectBatch/Interpretations is
+// errors.Is-testable against exactly one of:
+//
+//   - ErrEmptyQuery, ErrInvalidTerminal, ErrTooManyTerminals (this file),
+//   - steiner.ErrDisconnectedTerminals, steiner.ErrNotAlphaAcyclic
+//     (solver outcomes, passed through unwrapped),
+//   - context.Canceled / context.DeadlineExceeded (cancellation, passed
+//     through so errors.Is(err, context.DeadlineExceeded) works),
+//   - ErrUnknownScheme (Registry lookups).
+//
+// ErrEmptyQuery and ErrTooManyTerminals wrap the corresponding steiner
+// sentinels, so code written against the v1 solver errors
+// (errors.Is(err, steiner.ErrEmptyTerminals)) keeps working.
+var (
+	// ErrInvalidTerminal is returned when a query names a terminal that is
+	// out of range for the scheme, duplicated within the query, or on a
+	// partition the connector was configured to reject.
+	ErrInvalidTerminal = errors.New("core: invalid terminal")
+
+	// ErrEmptyQuery is returned when a query has no terminals.
+	ErrEmptyQuery = fmt.Errorf("core: empty query: %w", steiner.ErrEmptyTerminals)
+
+	// ErrTooManyTerminals is returned when a query exceeds the connector's
+	// terminal budget (WithMaxTerminals) or the exact solver's hard limit.
+	ErrTooManyTerminals = fmt.Errorf("core: too many terminals: %w", steiner.ErrTooManyTerminals)
+
+	// ErrUnknownScheme is returned by Registry operations naming a scheme
+	// that is not (or no longer) registered.
+	ErrUnknownScheme = errors.New("core: unknown scheme")
+)
+
+// validateTerminals applies the boundary checks shared by every query
+// entry point: non-empty, in range, duplicate-free, within the terminal
+// budget, and on an allowed partition. It runs before dispatch and before
+// the Service cache, so invalid queries never reach a solver or poison a
+// cache entry.
+func validateTerminals(fb *bipartite.Frozen, terminals []int, maxTerminals int, v1Only bool) error {
+	if len(terminals) == 0 {
+		return ErrEmptyQuery
+	}
+	if maxTerminals > 0 && len(terminals) > maxTerminals {
+		return fmt.Errorf("%w: %d terminals exceed the configured budget of %d",
+			ErrTooManyTerminals, len(terminals), maxTerminals)
+	}
+	n := fb.N()
+	seen := make(map[int]struct{}, len(terminals))
+	for i, t := range terminals {
+		if t < 0 || t >= n {
+			return fmt.Errorf("%w: id %d at position %d is out of range [0,%d)",
+				ErrInvalidTerminal, t, i, n)
+		}
+		if _, dup := seen[t]; dup {
+			return fmt.Errorf("%w: id %d appears more than once in the query",
+				ErrInvalidTerminal, t)
+		}
+		seen[t] = struct{}{}
+		if v1Only && fb.Side(t) != graph.Side1 {
+			return fmt.Errorf("%w: id %d (%s) is a V2 node but the connector only accepts V1 terminals",
+				ErrInvalidTerminal, t, fb.G().Label(t))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bipartite"
+)
+
+// Registry is a named, multi-tenant catalog of compiled schemes: one
+// process serves connection queries over many conceptual schemes, looked
+// up by name per query. Updates are atomic compile-and-swap — Set compiles
+// the new scheme (freeze + classify, the expensive part) outside the lock,
+// then swaps the catalog pointer under it. The swap is copy-on-write at
+// the scheme granularity: a query that resolved its Service before the
+// swap finishes on the old frozen epoch (immutable, so never torn), while
+// every later lookup sees the new one. Readers never block on a compile.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*registryEntry
+	// epochs counts Sets per name monotonically and survives Drop, so a
+	// caller polling Epoch never sees the counter restart across a
+	// drop-and-reinstall.
+	epochs map[string]uint64
+}
+
+// registryEntry pairs a compiled scheme with its swap epoch.
+type registryEntry struct {
+	svc   *Service
+	epoch uint64
+}
+
+// NewRegistry returns an empty catalog.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: make(map[string]*registryEntry),
+		epochs:  make(map[string]uint64),
+	}
+}
+
+// Set compiles b (with opts, as Open would) and installs it under name,
+// replacing any previous scheme of that name. It returns the new Service.
+// The compile runs before the catalog lock is taken, so concurrent readers
+// of the old epoch are never stalled by an update.
+func (r *Registry) Set(name string, b *bipartite.Graph, opts ...Option) *Service {
+	svc := Open(b, opts...)
+	r.mu.Lock()
+	r.epochs[name]++
+	r.entries[name] = &registryEntry{svc: svc, epoch: r.epochs[name]}
+	r.mu.Unlock()
+	return svc
+}
+
+// Get returns the current Service for name. The returned Service remains
+// fully usable even after a later Set replaces it (the old frozen epoch
+// stays immutable); callers that want the newest epoch per query should
+// use Registry.Connect instead of holding a Service.
+func (r *Registry) Get(name string) (*Service, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.svc, true
+}
+
+// Epoch returns how many times name has been set (1 for the initial
+// install, monotonic across Drop/reinstall), or 0 when it is not
+// currently registered.
+func (r *Registry) Epoch(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.entries[name]; ok {
+		return e.epoch
+	}
+	return 0
+}
+
+// Drop removes name from the catalog and reports whether it was present.
+// In-flight queries on the dropped scheme finish normally.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
+// Names lists the registered scheme names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered schemes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Connect answers one query against the named scheme's current epoch,
+// with the same contract as Service.Connect. Unknown names return
+// ErrUnknownScheme.
+func (r *Registry) Connect(ctx context.Context, scheme string, terminals []int, opts ...QueryOption) (Connection, error) {
+	svc, ok := r.Get(scheme)
+	if !ok {
+		return Connection{}, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+	return svc.Connect(ctx, terminals, opts...)
+}

@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// pathScheme builds two epochs of "the same" scheme — A and B keep ids 0
+// and 1, but the direct hub A—r1—B of the first epoch is replaced by the
+// chain A—r1—C—r2—B in the second, so the minimal connection (3 vs 5
+// nodes) tells the epochs apart.
+func pathScheme(chain bool) *bipartite.Graph {
+	b := bipartite.New()
+	a := b.AddV1("A")
+	bb := b.AddV1("B")
+	r1 := b.AddV2("r1")
+	b.AddEdge(a, r1)
+	if !chain {
+		b.AddEdge(bb, r1)
+		return b
+	}
+	c := b.AddV1("C")
+	r2 := b.AddV2("r2")
+	b.AddEdge(c, r1)
+	b.AddEdge(c, r2)
+	b.AddEdge(bb, r2)
+	return b
+}
+
+func TestRegistryBasics(t *testing.T) {
+	ctx := context.Background()
+	reg := core.NewRegistry()
+	if _, err := reg.Connect(ctx, "ghost", []int{0}); !errors.Is(err, core.ErrUnknownScheme) {
+		t.Fatalf("unknown scheme: err = %v", err)
+	}
+	if reg.Epoch("ghost") != 0 || reg.Len() != 0 {
+		t.Fatal("empty registry reports entries")
+	}
+
+	reg.Set("s", pathScheme(false))
+	if got := reg.Epoch("s"); got != 1 {
+		t.Fatalf("epoch after install = %d", got)
+	}
+	conn, err := reg.Connect(ctx, "s", []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Tree.Nodes.Len() != 3 {
+		t.Fatalf("path answer = %v", conn.Tree.Nodes)
+	}
+
+	reg.Set("t", pathScheme(true))
+	if got := fmt.Sprint(reg.Names()); got != "[s t]" {
+		t.Fatalf("Names = %s", got)
+	}
+	reg.Set("s", pathScheme(true)) // swap
+	if got := reg.Epoch("s"); got != 2 {
+		t.Fatalf("epoch after swap = %d", got)
+	}
+	if !reg.Drop("t") || reg.Drop("t") {
+		t.Fatal("Drop bookkeeping wrong")
+	}
+	if _, ok := reg.Get("t"); ok {
+		t.Fatal("dropped scheme still resolvable")
+	}
+	// The epoch counter is monotonic across drop/reinstall, so pollers
+	// never mistake a re-installed scheme for the one they already saw.
+	if got := reg.Epoch("t"); got != 0 {
+		t.Fatalf("dropped scheme should report epoch 0, got %d", got)
+	}
+	reg.Set("t", pathScheme(true))
+	if got := reg.Epoch("t"); got != 2 {
+		t.Fatalf("epoch after drop+reinstall = %d, want 2", got)
+	}
+}
+
+// TestRegistrySwapHammer runs compile-and-swap updates against concurrent
+// readers; under -race it asserts the copy-on-write contract: every reader
+// sees a complete epoch (one of the two valid answers), never a torn or
+// stale-beyond-epoch state, and a Service resolved before a swap keeps
+// answering on its frozen epoch.
+func TestRegistrySwapHammer(t *testing.T) {
+	ctx := context.Background()
+	reg := core.NewRegistry()
+	b1 := pathScheme(false)
+	b2 := pathScheme(true)
+	terms := []int{0, 1} // A, B in both epochs
+
+	want1, err := core.New(b1).Connect(ctx, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := core.New(b2).Connect(ctx, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want1.Tree.Nodes.Equal(want2.Tree.Nodes) {
+		t.Fatal("epoch answers must differ for the hammer to mean anything")
+	}
+	valid := func(c core.Connection) bool {
+		return c.Tree.Nodes.Equal(want1.Tree.Nodes) || c.Tree.Nodes.Equal(want2.Tree.Nodes)
+	}
+
+	reg.Set("s", b1)
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	stop := make(chan struct{})
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Per-query lookup: must see some complete epoch.
+				c, err := reg.Connect(ctx, "s", terms)
+				if err != nil {
+					errs <- fmt.Errorf("reader Connect: %v", err)
+					return
+				}
+				if !valid(c) {
+					errs <- fmt.Errorf("torn answer: %v", c.Tree.Nodes)
+					return
+				}
+				// Held Service: the old epoch must stay fully usable even
+				// if a swap lands between Get and Connect.
+				svc, ok := reg.Get("s")
+				if !ok {
+					errs <- errors.New("scheme vanished mid-hammer")
+					return
+				}
+				if c, err := svc.Connect(ctx, terms); err != nil || !valid(c) {
+					errs <- fmt.Errorf("held-epoch answer wrong: %v %v", err, c.Tree.Nodes)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 40; i++ {
+			if i%2 == 0 {
+				reg.Set("s", b2)
+			} else {
+				reg.Set("s", b1)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := reg.Epoch("s"); got != 41 {
+		t.Errorf("epoch after 1+40 sets = %d", got)
+	}
+}

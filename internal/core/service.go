@@ -2,6 +2,8 @@ package core
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,26 +14,32 @@ import (
 // Service serves minimal-connection queries over one compiled scheme to
 // concurrent callers. It adds two things to a Connector:
 //
-//   - an LRU answer cache keyed on the canonical terminal set (intset.Key):
-//     the scheme is frozen at construction, so an answer never goes stale
-//     and repeated or overlapping workloads — the paper's interactive
-//     disambiguation loop re-asks mostly-identical queries — become cache
-//     hits instead of Steiner reruns;
+//   - an LRU answer cache keyed on the canonical terminal set (intset.Key)
+//     plus the per-query options that change the answer: the scheme is
+//     frozen at construction, so an answer never goes stale and repeated or
+//     overlapping workloads — the paper's interactive disambiguation loop
+//     re-asks mostly-identical queries — become cache hits instead of
+//     Steiner reruns;
 //   - ConnectBatch, which fans a batch out over a bounded worker pool.
 //
 // Identical queries arriving concurrently are deduplicated in flight: one
-// goroutine computes, the rest wait on the same cache entry. All methods
+// goroutine computes, the rest wait on the same cache entry (or return
+// early when their own context expires first). Cancellation errors are
+// never cached — an entry whose computation died of its context's deadline
+// is evicted so the next caller retries with its own budget. All methods
 // are safe for concurrent use.
 type Service struct {
 	c        *Connector
 	workers  int
 	capacity int
 
-	mu     sync.Mutex
-	cache  map[string]*list.Element
-	order  *list.List // front = most recently used; values are *cacheEntry
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	cache     map[string]*list.Element
+	order     *list.List // front = most recently used; values are *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	bypasses  uint64
 }
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
@@ -44,24 +52,28 @@ type cacheEntry struct {
 }
 
 // DefaultCacheSize is the answer-cache capacity used when NewService is
-// given a non-positive one.
+// not given a positive WithCacheSize.
 const DefaultCacheSize = 1024
 
-// NewService wraps a Connector for concurrent serving. workers bounds the
-// ConnectBatch pool (non-positive means GOMAXPROCS); cacheSize bounds the
-// answer cache (non-positive means DefaultCacheSize).
-func NewService(c *Connector, workers, cacheSize int) *Service {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// NewService wraps a Connector for concurrent serving. Recognized options:
+// WithWorkers bounds the ConnectBatch pool (default GOMAXPROCS),
+// WithCacheSize bounds the answer cache (default DefaultCacheSize).
+func NewService(c *Connector, opts ...Option) *Service {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if cacheSize <= 0 {
-		cacheSize = DefaultCacheSize
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.cacheSize <= 0 {
+		cfg.cacheSize = DefaultCacheSize
 	}
 	return &Service{
 		c:        c,
-		workers:  workers,
-		capacity: cacheSize,
-		cache:    make(map[string]*list.Element, cacheSize),
+		workers:  cfg.workers,
+		capacity: cfg.cacheSize,
+		cache:    make(map[string]*list.Element, cfg.cacheSize),
 		order:    list.New(),
 	}
 }
@@ -69,53 +81,105 @@ func NewService(c *Connector, workers, cacheSize int) *Service {
 // Connector returns the wrapped Connector.
 func (s *Service) Connector() *Connector { return s.c }
 
-// Connect answers one minimal-connection query through the cache.
-func (s *Service) Connect(terminals []int) (Connection, error) {
-	key := intset.FromSlice(terminals).Key()
-	s.mu.Lock()
-	if e, ok := s.cache[key]; ok {
-		s.order.MoveToFront(e)
-		s.hits++
-		ent := e.Value.(*cacheEntry)
+// Connect answers one minimal-connection query through the cache. The
+// cache key combines the canonical terminal set with the answer-changing
+// query options, so a WithMethod or WithInterpretations variant never
+// collides with the default answer. WithCacheBypass skips the cache in
+// both directions.
+func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOption) (Connection, error) {
+	q := newQueryConfig(opts)
+	// Validate before touching the cache: invalid queries are cheap to
+	// reject and must not occupy cache capacity.
+	if err := s.c.Validate(terminals); err != nil {
+		return Connection{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Connection{}, err
+	}
+	if q.bypassCache {
+		s.mu.Lock()
+		s.bypasses++
 		s.mu.Unlock()
-		<-ent.done
+		return s.c.connectValidated(ctx, terminals, q)
+	}
+	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
+	for {
+		s.mu.Lock()
+		if e, ok := s.cache[key]; ok {
+			s.order.MoveToFront(e)
+			s.hits++
+			ent := e.Value.(*cacheEntry)
+			s.mu.Unlock()
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				// The computing goroutine keeps going on its own context;
+				// this caller just stops waiting for it.
+				return Connection{}, ctx.Err()
+			}
+			if isCtxErr(ent.err) && ctx.Err() == nil {
+				// The computation died of the *computing* caller's
+				// cancellation, not ours; it evicted the entry before
+				// closing done, so retry with this caller's own budget.
+				continue
+			}
+			return ent.conn, ent.err
+		}
+		s.misses++
+		ent := &cacheEntry{key: key, done: make(chan struct{})}
+		s.cache[key] = s.order.PushFront(ent)
+		if s.order.Len() > s.capacity {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.cache, oldest.Value.(*cacheEntry).key)
+			s.evictions++
+		}
+		s.mu.Unlock()
+
+		// Compute outside the lock; the Connector is concurrency-safe.
+		// Errors are cached too: for a frozen scheme they are as
+		// deterministic as answers (e.g. disconnected terminals stay
+		// disconnected) — except cancellation, which is a property of this
+		// call's context, not of the query, and is uncached below.
+		completed := false
+		defer func() {
+			if completed {
+				return
+			}
+			// Connect panicked. Evict the half-built entry so the key is
+			// not poisoned and fail any waiters instead of leaving them
+			// blocked on done forever; the panic itself keeps propagating
+			// to this caller.
+			ent.err = fmt.Errorf("core: Connect panicked for cache key %q", key)
+			s.evict(key, ent)
+			close(ent.done)
+		}()
+		ent.conn, ent.err = s.c.connectValidated(ctx, terminals, q)
+		completed = true
+		if isCtxErr(ent.err) {
+			// Evict before closing done: waiters observing a cancellation
+			// outcome must find the key absent when they retry.
+			s.evict(key, ent)
+		}
+		close(ent.done)
 		return ent.conn, ent.err
 	}
-	s.misses++
-	ent := &cacheEntry{key: key, done: make(chan struct{})}
-	s.cache[key] = s.order.PushFront(ent)
-	if s.order.Len() > s.capacity {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.cache, oldest.Value.(*cacheEntry).key)
+}
+
+// isCtxErr reports whether err is a cancellation outcome.
+func isCtxErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// evict removes the entry for key iff it is still ent (a concurrent
+// capacity eviction plus re-insert may have replaced it).
+func (s *Service) evict(key string, ent *cacheEntry) {
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok && e.Value.(*cacheEntry) == ent {
+		s.order.Remove(e)
+		delete(s.cache, key)
 	}
 	s.mu.Unlock()
-
-	// Compute outside the lock; the Connector is concurrency-safe. Errors
-	// are cached too: for a frozen scheme they are as deterministic as
-	// answers (e.g. disconnected terminals stay disconnected).
-	completed := false
-	defer func() {
-		if completed {
-			return
-		}
-		// Connect panicked (e.g. an out-of-range terminal id). Evict the
-		// half-built entry so the key is not poisoned and fail any waiters
-		// instead of leaving them blocked on done forever; the panic itself
-		// keeps propagating to this caller.
-		ent.err = fmt.Errorf("core: Connect panicked for terminal set {%s}", key)
-		s.mu.Lock()
-		if e, ok := s.cache[key]; ok && e.Value.(*cacheEntry) == ent {
-			s.order.Remove(e)
-			delete(s.cache, key)
-		}
-		s.mu.Unlock()
-		close(ent.done)
-	}()
-	ent.conn, ent.err = s.c.Connect(terminals)
-	completed = true
-	close(ent.done)
-	return ent.conn, ent.err
 }
 
 // BatchResult is one answer of ConnectBatch, at the index of its query.
@@ -126,9 +190,11 @@ type BatchResult struct {
 }
 
 // ConnectBatch answers all queries concurrently on at most workers
-// goroutines and returns the results in query order. Duplicate terminal
-// sets inside one batch are computed once via the cache.
-func (s *Service) ConnectBatch(queries [][]int) []BatchResult {
+// goroutines and returns the results in query order; opts apply to every
+// query of the batch. Duplicate terminal sets inside one batch are
+// computed once via the cache. Once ctx is done the remaining queries
+// fail fast with its error.
+func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...QueryOption) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -144,7 +210,7 @@ func (s *Service) ConnectBatch(queries [][]int) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				conn, err := s.Connect(queries[i])
+				conn, err := s.Connect(ctx, queries[i], opts...)
 				out[i] = BatchResult{Terminals: queries[i], Conn: conn, Err: err}
 			}
 		}()
@@ -159,9 +225,11 @@ func (s *Service) ConnectBatch(queries [][]int) []BatchResult {
 
 // CacheStats is a point-in-time snapshot of the answer cache.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64 // lookups that found an entry (including in-flight)
+	Misses    uint64 // lookups that started a computation
+	Evictions uint64 // entries dropped by LRU capacity pressure
+	Bypasses  uint64 // queries answered around the cache (WithCacheBypass)
+	Entries   int    // entries currently resident (including in-flight)
 }
 
 // Stats returns current cache counters. A hit counts any lookup that found
@@ -169,5 +237,11 @@ type CacheStats struct {
 func (s *Service) Stats() CacheStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return CacheStats{Hits: s.hits, Misses: s.misses, Entries: s.order.Len()}
+	return CacheStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Bypasses:  s.bypasses,
+		Entries:   s.order.Len(),
+	}
 }

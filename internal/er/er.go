@@ -7,6 +7,7 @@
 package er
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bipartite"
@@ -183,8 +184,9 @@ type Interpretation struct {
 // Interpretations resolves a query given as object names into connections
 // ranked by the number of auxiliary objects (minimal first) — the
 // disambiguation flow of the paper's introduction. limit bounds the number
-// of alternatives returned.
-func (s *Scheme) Interpretations(query []string, limit int) ([]Interpretation, error) {
+// of alternatives returned, ctx the enumeration itself (it is exponential
+// in the auxiliary budget).
+func (s *Scheme) Interpretations(ctx context.Context, query []string, limit int) ([]Interpretation, error) {
 	g := s.Graph()
 	terminals := make([]int, len(query))
 	for i, name := range query {
@@ -195,7 +197,10 @@ func (s *Scheme) Interpretations(query []string, limit int) ([]Interpretation, e
 		terminals[i] = id
 	}
 	p := intset.FromSlice(terminals)
-	covers := steiner.RankedCovers(g, terminals, g.N(), limit)
+	covers, err := steiner.RankedCovers(ctx, g, terminals, g.N(), limit)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Interpretation, len(covers))
 	for i, c := range covers {
 		out[i] = Interpretation{
@@ -209,8 +214,8 @@ func (s *Scheme) Interpretations(query []string, limit int) ([]Interpretation, e
 // MinimalConnection returns the first-ranked interpretation, i.e. the
 // connection with the fewest auxiliary objects (a node-minimum Steiner
 // tree over the query).
-func (s *Scheme) MinimalConnection(query []string) (Interpretation, error) {
-	interps, err := s.Interpretations(query, 1)
+func (s *Scheme) MinimalConnection(ctx context.Context, query []string) (Interpretation, error) {
+	interps, err := s.Interpretations(ctx, query, 1)
 	if err != nil {
 		return Interpretation{}, err
 	}

@@ -1,6 +1,7 @@
 package er
 
 import (
+	"context"
 	"testing"
 )
 
@@ -40,7 +41,7 @@ func TestFig1MinimalInterpretation(t *testing.T) {
 	// Query {EMPLOYEE, DATE}: the minimal interpretation is the direct
 	// birthdate aggregation (no auxiliary object); the next one goes
 	// through WORKS_IN (one auxiliary object).
-	interps, err := s.Interpretations([]string{"EMPLOYEE", "DATE"}, 5)
+	interps, err := s.Interpretations(context.Background(), []string{"EMPLOYEE", "DATE"}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestFig1MinimalInterpretation(t *testing.T) {
 
 func TestFig1MinimalConnection(t *testing.T) {
 	s := Fig1Scheme()
-	conn, err := s.MinimalConnection([]string{"NAME", "BUDGET"})
+	conn, err := s.MinimalConnection(context.Background(), []string{"NAME", "BUDGET"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig1MinimalConnection(t *testing.T) {
 }
 
 func TestUnknownObject(t *testing.T) {
-	if _, err := Fig1Scheme().Interpretations([]string{"GHOST"}, 1); err == nil {
+	if _, err := Fig1Scheme().Interpretations(context.Background(), []string{"GHOST"}, 1); err == nil {
 		t.Error("unknown object accepted")
 	}
 }
@@ -78,7 +79,7 @@ func TestDisconnectedQuery(t *testing.T) {
 		Object{Name: "a", Kind: KindAttribute},
 		Object{Name: "b", Kind: KindAttribute},
 	)
-	if _, err := s.MinimalConnection([]string{"a", "b"}); err == nil {
+	if _, err := s.MinimalConnection(context.Background(), []string{"a", "b"}); err == nil {
 		t.Error("disconnected objects should not connect")
 	}
 }

@@ -1,6 +1,9 @@
 package er
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // managerScheme extends Fig 1 with a MANAGER entity generalizing EMPLOYEE.
 func managerScheme() *Scheme {
@@ -50,7 +53,7 @@ func TestISAConnectionThroughHierarchy(t *testing.T) {
 	s := managerScheme()
 	// MANAGER inherits NAME via EMPLOYEE: the minimal connection uses the
 	// ISA edge with EMPLOYEE as the only auxiliary object.
-	conn, err := s.MinimalConnection([]string{"MANAGER", "NAME"})
+	conn, err := s.MinimalConnection(context.Background(), []string{"MANAGER", "NAME"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -21,7 +22,7 @@ import (
 // WORKS_IN.
 func EFig1() Table {
 	s := er.Fig1Scheme()
-	interps, err := s.Interpretations([]string{"EMPLOYEE", "DATE"}, 3)
+	interps, err := s.Interpretations(context.Background(), []string{"EMPLOYEE", "DATE"}, 3)
 	t := Table{
 		ID:     "E-FIG1",
 		Title:  "Fig 1: ranked interpretations of the query {EMPLOYEE, DATE}",

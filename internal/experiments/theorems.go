@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -379,7 +380,7 @@ func EUniversalRelation() Table {
 		{"name", "area"},
 	}
 	for _, q := range queries {
-		res, plan, err := u.Answer(q)
+		res, plan, err := u.Answer(context.Background(), q)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(q), err.Error(), "-", "-", "FAIL"})
 			continue

@@ -17,13 +17,13 @@ import (
 func Exact(g *graph.Graph, terminals []int) (Tree, error) {
 	ts := intset.FromSlice(terminals)
 	if ts.Len() == 0 {
-		return Tree{}, fmt.Errorf("steiner: empty terminal set")
+		return Tree{}, ErrEmptyTerminals
 	}
 	if ts.Len() == 1 {
 		return Tree{Nodes: ts.Clone()}, nil
 	}
-	if ts.Len() > 20 {
-		return Tree{}, fmt.Errorf("steiner: %d terminals exceed the exact solver's limit", ts.Len())
+	if ts.Len() > ExactTerminalLimit {
+		return Tree{}, fmt.Errorf("steiner: %d terminals: %w", ts.Len(), ErrTooManyTerminals)
 	}
 	n := g.N()
 	// All-pairs BFS distances from every node (only needed rows are all

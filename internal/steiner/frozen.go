@@ -16,8 +16,16 @@ package steiner
 //
 // Every function here only reads the frozen views, so one frozen scheme can
 // serve any number of concurrent queries (see core.Service).
+//
+// Each frozen solver takes a context.Context and checks it periodically —
+// at iteration granularity in the polynomial elimination passes, per
+// terminal-subset in the exponential Dreyfus–Wagner program — returning
+// ctx.Err() (context.Canceled or context.DeadlineExceeded, errors.Is-
+// testable) so a deadline bounds the tail latency of a query instead of
+// merely being observed after the solver finishes.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,11 +35,16 @@ import (
 	"repro/internal/intset"
 )
 
+// cancelStride is how many hot-loop iterations run between context checks
+// in the polynomial solvers; a power of two so the check compiles to a mask
+// test.
+const cancelStride = 64
+
 // componentAliveFrozen returns the alive mask of the connected component of
 // fg containing all terminals, or an error when they span components.
 func componentAliveFrozen(fg *graph.Frozen, terminals []int) ([]bool, error) {
 	if len(terminals) == 0 {
-		return nil, errors.New("steiner: empty terminal set")
+		return nil, ErrEmptyTerminals
 	}
 	mask := fg.ComponentMask(terminals)
 	if mask == nil {
@@ -130,15 +143,21 @@ func (sc *connScratch) terminalsConnected(fg *graph.Frozen, alive []bool, termin
 
 // EliminateOrderedFrozen is EliminateOrdered on a frozen graph: the
 // Definition 11 single-pass redundant-node elimination, with each removal
-// probe running the early-exit connectivity search.
-func EliminateOrderedFrozen(fg *graph.Frozen, terminals, order []int) (Tree, error) {
+// probe running the early-exit connectivity search. The context is checked
+// every cancelStride removals.
+func EliminateOrderedFrozen(ctx context.Context, fg *graph.Frozen, terminals, order []int) (Tree, error) {
 	alive, err := componentAliveFrozen(fg, terminals)
 	if err != nil {
 		return Tree{}, err
 	}
 	p := intset.FromSlice(terminals)
 	sc := newConnScratch(fg.N(), terminals)
-	for _, v := range order {
+	for i, v := range order {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Tree{}, err
+			}
+		}
 		if v < 0 || v >= fg.N() || !alive[v] || p.Contains(v) {
 			continue
 		}
@@ -153,12 +172,12 @@ func EliminateOrderedFrozen(fg *graph.Frozen, terminals, order []int) (Tree, err
 
 // Algorithm2Frozen is Algorithm2 on a frozen graph (Theorem 5): redundant-
 // node elimination in id order, minimum on (6,2)-chordal bipartite graphs.
-func Algorithm2Frozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+func Algorithm2Frozen(ctx context.Context, fg *graph.Frozen, terminals []int) (Tree, error) {
 	order := make([]int, fg.N())
 	for i := range order {
 		order[i] = i
 	}
-	return EliminateOrderedFrozen(fg, terminals, order)
+	return EliminateOrderedFrozen(ctx, fg, terminals, order)
 }
 
 // Algorithm1Frozen is Algorithm1 on a frozen bipartite graph (Theorem 3):
@@ -167,8 +186,9 @@ func Algorithm2Frozen(fg *graph.Frozen, terminals []int) (Tree, error) {
 // subgraph of the terminals' component (as the mutable path does) it runs
 // the Lemma 1 ordering and the elimination pass under an alive mask over
 // the shared CSR arrays. It returns ErrNotAlphaAcyclic when H¹ of the
-// component is not α-acyclic.
-func Algorithm1Frozen(fb *bipartite.Frozen, terminals []int) (Tree, error) {
+// component is not α-acyclic. The context is checked every cancelStride
+// elimination steps.
+func Algorithm1Frozen(ctx context.Context, fb *bipartite.Frozen, terminals []int) (Tree, error) {
 	fg := fb.G()
 	alive, err := componentAliveFrozen(fg, terminals)
 	if err != nil {
@@ -181,7 +201,12 @@ func Algorithm1Frozen(fb *bipartite.Frozen, terminals []int) (Tree, error) {
 	p := intset.FromSlice(terminals)
 	sc := newConnScratch(fg.N(), terminals)
 	removed := make([]int, 0, 16)
-	for _, v2 := range w {
+	for i, v2 := range w {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Tree{}, err
+			}
+		}
 		if !alive[v2] {
 			continue
 		}
@@ -257,21 +282,32 @@ func lemma1OrderingAlive(fb *bipartite.Frozen, alive []bool) ([]int, error) {
 
 // ExactFrozen is Exact on a frozen graph: the Dreyfus–Wagner dynamic
 // program over terminal subsets, with the all-pairs distance table computed
-// by CSR BFS into compact int32 rows.
-func ExactFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+// by CSR BFS into compact int32 rows. The context is checked before the
+// distance table is built, per BFS row, and once per terminal subset of the
+// DP (each subset costs O(n²) work, so a deadline is honored well before
+// the exponential loop completes).
+func ExactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int) (Tree, error) {
 	ts := intset.FromSlice(terminals)
 	if ts.Len() == 0 {
-		return Tree{}, fmt.Errorf("steiner: empty terminal set")
+		return Tree{}, ErrEmptyTerminals
 	}
 	if ts.Len() == 1 {
 		return Tree{Nodes: ts.Clone()}, nil
 	}
-	if ts.Len() > 20 {
-		return Tree{}, fmt.Errorf("steiner: %d terminals exceed the exact solver's limit", ts.Len())
+	if ts.Len() > ExactTerminalLimit {
+		return Tree{}, fmt.Errorf("steiner: %d terminals: %w", ts.Len(), ErrTooManyTerminals)
+	}
+	if err := ctx.Err(); err != nil {
+		return Tree{}, err
 	}
 	n := fg.N()
 	dist := make([][]int32, n)
 	for v := 0; v < n; v++ {
+		if v&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Tree{}, err
+			}
+		}
 		dist[v] = fg.BFSDistances(v)
 	}
 	for _, t := range ts[1:] {
@@ -306,6 +342,9 @@ func ExactFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
 	for s := 1; s < size; s++ {
 		if s&(s-1) == 0 {
 			continue // singleton: base case done
+		}
+		if err := ctx.Err(); err != nil {
+			return Tree{}, err
 		}
 		for v := 0; v < n; v++ {
 			for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
@@ -383,8 +422,9 @@ func ExactFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
 
 // ApproximateFrozen is Approximate on a frozen graph: the metric-closure
 // 2-approximation with terminal-row BFS distances and the final pruning
-// pass over the CSR view.
-func ApproximateFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
+// pass over the CSR view. The context is checked per terminal BFS row and
+// every cancelStride pruning probes.
+func ApproximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int) (Tree, error) {
 	ts := intset.FromSlice(terminals)
 	if _, err := componentAliveFrozen(fg, terminals); err != nil {
 		return Tree{}, err
@@ -395,6 +435,9 @@ func ApproximateFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
 	k := ts.Len()
 	dist := make([][]int32, k)
 	for i, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return Tree{}, err
+		}
 		dist[i] = fg.BFSDistances(t)
 	}
 	// Prim MST over the terminal metric closure.
@@ -439,6 +482,11 @@ func ApproximateFrozen(fg *graph.Frozen, terminals []int) (Tree, error) {
 	}
 	order = intset.FromSlice(order)
 	for i := len(order) - 1; i >= 0; i-- {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Tree{}, err
+			}
+		}
 		v := order[i]
 		if ts.Contains(v) {
 			continue

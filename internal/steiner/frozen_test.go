@@ -1,6 +1,7 @@
 package steiner_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -10,6 +11,10 @@ import (
 	"repro/internal/gen"
 	"repro/internal/steiner"
 )
+
+// ctx is the no-deadline context of the equivalence sweeps (cancellation
+// has its own tests in cancel_test.go).
+var ctx = context.Background()
 
 // assertSameTree fails unless the two trees are identical: same cover node
 // set and same spanning tree edges. The frozen path is built to reproduce
@@ -71,7 +76,7 @@ func TestAlgorithm2FrozenMatchesMutableOnFixtures(t *testing.T) {
 		fg := g.Freeze()
 		for _, terms := range terminalSets(r, g.N()) {
 			want, err1 := steiner.Algorithm2(g, terms)
-			got, err2 := steiner.Algorithm2Frozen(fg, terms)
+			got, err2 := steiner.Algorithm2Frozen(ctx, fg, terms)
 			assertSameTree(t, name, want, got, err1, err2)
 		}
 	}
@@ -83,7 +88,7 @@ func TestAlgorithm1FrozenMatchesMutableOnFixtures(t *testing.T) {
 		fb := b.Freeze()
 		for _, terms := range terminalSets(r, b.N()) {
 			want, err1 := steiner.Algorithm1(b, terms)
-			got, err2 := steiner.Algorithm1Frozen(fb, terms)
+			got, err2 := steiner.Algorithm1Frozen(ctx, fb, terms)
 			assertSameTree(t, name, want, got, err1, err2)
 		}
 	}
@@ -106,26 +111,26 @@ func TestFrozenSolversMatchMutableRandom(t *testing.T) {
 		fg := fb.G()
 		for _, terms := range terminalSets(r, g.N()) {
 			want, err1 := steiner.Algorithm2(g, terms)
-			got, err2 := steiner.Algorithm2Frozen(fg, terms)
+			got, err2 := steiner.Algorithm2Frozen(ctx, fg, terms)
 			assertSameTree(t, "Algorithm2", want, got, err1, err2)
 
 			want, err1 = steiner.Algorithm1(b, terms)
-			got, err2 = steiner.Algorithm1Frozen(fb, terms)
+			got, err2 = steiner.Algorithm1Frozen(ctx, fb, terms)
 			assertSameTree(t, "Algorithm1", want, got, err1, err2)
 
 			order := r.Perm(g.N())
 			want, err1 = steiner.EliminateOrdered(g, terms, order)
-			got, err2 = steiner.EliminateOrderedFrozen(fg, terms, order)
+			got, err2 = steiner.EliminateOrderedFrozen(ctx, fg, terms, order)
 			assertSameTree(t, "EliminateOrdered", want, got, err1, err2)
 
 			if len(terms) <= 6 {
 				want, err1 = steiner.Exact(g, terms)
-				got, err2 = steiner.ExactFrozen(fg, terms)
+				got, err2 = steiner.ExactFrozen(ctx, fg, terms)
 				assertSameTree(t, "Exact", want, got, err1, err2)
 			}
 
 			want, err1 = steiner.Approximate(g, terms)
-			got, err2 = steiner.ApproximateFrozen(fg, terms)
+			got, err2 = steiner.ApproximateFrozen(ctx, fg, terms)
 			assertSameTree(t, "Approximate", want, got, err1, err2)
 		}
 	}
@@ -140,19 +145,19 @@ func TestFrozenSolverErrors(t *testing.T) {
 	b.AddEdge(a1, r1)
 	b.AddEdge(a2, r2)
 	fb := b.Freeze()
-	if _, err := steiner.Algorithm2Frozen(fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
+	if _, err := steiner.Algorithm2Frozen(ctx, fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
 		t.Errorf("Algorithm2Frozen across components: %v", err)
 	}
-	if _, err := steiner.Algorithm1Frozen(fb, []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
+	if _, err := steiner.Algorithm1Frozen(ctx, fb, []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
 		t.Errorf("Algorithm1Frozen across components: %v", err)
 	}
-	if _, err := steiner.ExactFrozen(fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
+	if _, err := steiner.ExactFrozen(ctx, fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
 		t.Errorf("ExactFrozen across components: %v", err)
 	}
-	if _, err := steiner.ApproximateFrozen(fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
+	if _, err := steiner.ApproximateFrozen(ctx, fb.G(), []int{a1, a2}); !errors.Is(err, steiner.ErrDisconnectedTerminals) {
 		t.Errorf("ApproximateFrozen across components: %v", err)
 	}
-	if _, err := steiner.Algorithm2Frozen(fb.G(), nil); err == nil {
+	if _, err := steiner.Algorithm2Frozen(ctx, fb.G(), nil); err == nil {
 		t.Error("Algorithm2Frozen on empty terminals should fail")
 	}
 
@@ -163,7 +168,7 @@ func TestFrozenSolverErrors(t *testing.T) {
 	if _, err := steiner.Algorithm1(cyc, terms); !errors.Is(err, steiner.ErrNotAlphaAcyclic) {
 		t.Skipf("fixture unexpectedly alpha-acyclic: %v", err)
 	}
-	if _, err := steiner.Algorithm1Frozen(cyc.Freeze(), terms); !errors.Is(err, steiner.ErrNotAlphaAcyclic) {
+	if _, err := steiner.Algorithm1Frozen(ctx, cyc.Freeze(), terms); !errors.Is(err, steiner.ErrNotAlphaAcyclic) {
 		t.Errorf("Algorithm1Frozen should reject non-alpha-acyclic component, got %v", err)
 	}
 }
@@ -178,7 +183,7 @@ func TestFrozenSolversConcurrent(t *testing.T) {
 	var termSets [][]int
 	var wants []steiner.Tree
 	for _, terms := range terminalSets(r, fg.N()) {
-		if want, err := steiner.Algorithm2Frozen(fg, terms); err == nil {
+		if want, err := steiner.Algorithm2Frozen(ctx, fg, terms); err == nil {
 			termSets = append(termSets, terms)
 			wants = append(wants, want)
 		}
@@ -191,7 +196,7 @@ func TestFrozenSolversConcurrent(t *testing.T) {
 		go func(seed int) {
 			for i := 0; i < 20; i++ {
 				k := (seed + i) % len(termSets)
-				got, err := steiner.Algorithm2Frozen(fg, termSets[k])
+				got, err := steiner.Algorithm2Frozen(ctx, fg, termSets[k])
 				if err != nil {
 					done <- err
 					return

@@ -1,6 +1,7 @@
 package steiner_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -85,7 +86,10 @@ func TestQuickRankedCoversSortedAndValid(t *testing.T) {
 		b := gen.RandomConnectedBipartite(r, 2+r.Intn(3), 2+r.Intn(3), 0.4)
 		g := b.G()
 		terms := r.Perm(g.N())[:2]
-		covers := steiner.RankedCovers(g, terms, g.N(), 6)
+		covers, err := steiner.RankedCovers(context.Background(), g, terms, g.N(), 6)
+		if err != nil {
+			return false
+		}
 		for i, c := range covers {
 			for _, p := range terms {
 				if !c.Contains(p) {

@@ -1,6 +1,7 @@
 package steiner
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -20,8 +21,11 @@ import (
 // with the same node set count once. At most maxAux auxiliary nodes are
 // considered and at most limit sets returned.
 //
-// Exponential in maxAux; intended for schema-sized graphs.
-func RankedCovers(g *graph.Graph, terminals []int, maxAux, limit int) []intset.Set {
+// Exponential in maxAux; intended for schema-sized graphs. The context is
+// checked throughout the enumeration (per candidate subset and inside the
+// spanning-tree backtracking), so a deadline bounds the enumeration; on
+// cancellation RankedCovers returns ctx.Err().
+func RankedCovers(ctx context.Context, g *graph.Graph, terminals []int, maxAux, limit int) ([]intset.Set, error) {
 	p := intset.FromSlice(terminals)
 	var others []int
 	for v := 0; v < g.N(); v++ {
@@ -31,13 +35,17 @@ func RankedCovers(g *graph.Graph, terminals []int, maxAux, limit int) []intset.S
 	}
 	var out []intset.Set
 	var cur []int
+	steps := 0
 	var rec func(start int)
 	rec = func(start int) {
 		if len(out) >= limit*16 { // gather extra, prune after sorting
 			return
 		}
+		if ctx.Err() != nil {
+			return
+		}
 		sel := p.Union(intset.FromSlice(cur))
-		if hasConnectionTree(g, sel, p) {
+		if hasConnectionTree(ctx, g, sel, p, &steps) {
 			out = append(out, sel)
 		}
 		if len(cur) >= maxAux {
@@ -50,6 +58,9 @@ func RankedCovers(g *graph.Graph, terminals []int, maxAux, limit int) []intset.S
 		}
 	}
 	rec(0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Len() != out[j].Len() {
 			return out[i].Len() < out[j].Len()
@@ -59,14 +70,17 @@ func RankedCovers(g *graph.Graph, terminals []int, maxAux, limit int) []intset.S
 	if len(out) > limit {
 		out = out[:limit]
 	}
-	return out
+	return out, nil
 }
 
 // hasConnectionTree reports whether the subgraph induced by sel has a
 // spanning tree whose leaves all lie in p. Backtracking over the induced
 // edge set; exponential in the worst case but fine at interpretation
-// scale (schema-sized graphs).
-func hasConnectionTree(g *graph.Graph, sel intset.Set, p intset.Set) bool {
+// scale (schema-sized graphs). steps accumulates backtracking work across
+// calls so the context is polled at a bounded stride even when individual
+// calls are tiny; on cancellation the result is meaningless and the caller
+// must check ctx.Err().
+func hasConnectionTree(ctx context.Context, g *graph.Graph, sel intset.Set, p intset.Set, steps *int) bool {
 	n := sel.Len()
 	if n == 0 {
 		return false
@@ -103,6 +117,10 @@ func hasConnectionTree(g *graph.Graph, sel intset.Set, p intset.Set) bool {
 	var chosen [][2]int
 	var rec func(next int) bool
 	rec = func(next int) bool {
+		*steps++
+		if *steps&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
 		if len(chosen) == n-1 {
 			return spanningTreeWithTerminalLeaves(n, chosen, sel, p)
 		}

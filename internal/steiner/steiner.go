@@ -29,6 +29,20 @@ import (
 // connected component, so no cover exists.
 var ErrDisconnectedTerminals = errors.New("steiner: terminals are not connected in the graph")
 
+// ErrEmptyTerminals is returned when a solver is asked to connect an empty
+// terminal set.
+var ErrEmptyTerminals = errors.New("steiner: empty terminal set")
+
+// ErrTooManyTerminals is returned by the exact Dreyfus–Wagner solvers when
+// the terminal count exceeds ExactTerminalLimit; the dynamic program is
+// exponential in the number of terminals (Theorem 2 forbids better in
+// general), so the limit keeps one query from monopolizing a process.
+var ErrTooManyTerminals = errors.New("steiner: terminal count exceeds the exact solver's limit")
+
+// ExactTerminalLimit is the largest terminal set Exact and ExactFrozen
+// accept before returning ErrTooManyTerminals.
+const ExactTerminalLimit = 20
+
 // Tree is a connected subgraph returned by the solvers: the node set of a
 // cover of the terminals, plus the edges of a spanning tree of it.
 type Tree struct {
@@ -109,7 +123,7 @@ func (t Tree) CountSide(isSide func(v int) bool) int {
 // containing all terminals, or an error when they span components.
 func componentAlive(g *graph.Graph, terminals []int) ([]bool, error) {
 	if len(terminals) == 0 {
-		return nil, errors.New("steiner: empty terminal set")
+		return nil, ErrEmptyTerminals
 	}
 	comp := g.ComponentContaining(terminals)
 	if comp == nil {

@@ -8,6 +8,7 @@
 package ur
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bipartite"
@@ -104,8 +105,9 @@ func (u *Interface) resolve(name string) (id int, isAttr bool, err error) {
 // Plan resolves a query given as attribute and/or relation names into a
 // minimal connection (Definition 8/9): the relations of the returned plan
 // connect all query objects, minimizing the relation count when the scheme
-// class admits it.
-func (u *Interface) Plan(query []string) (Plan, error) {
+// class admits it. ctx bounds the connection search (v2 contract: the
+// solvers check it in their hot loops).
+func (u *Interface) Plan(ctx context.Context, query []string) (Plan, error) {
 	var terminals []int
 	var attrs []string
 	for _, name := range query {
@@ -118,7 +120,7 @@ func (u *Interface) Plan(query []string) (Plan, error) {
 			attrs = append(attrs, name)
 		}
 	}
-	connection, err := u.conn.Connect(terminals)
+	connection, err := u.conn.Connect(ctx, terminals)
 	if err != nil {
 		return Plan{}, fmt.Errorf("ur: cannot connect %v: %w", query, err)
 	}
@@ -136,8 +138,8 @@ func (u *Interface) Plan(query []string) (Plan, error) {
 // selected subscheme is α-acyclic, naively otherwise — and projected onto
 // the query attributes. Relation names in the query contribute their
 // attributes to the projection.
-func (u *Interface) Answer(query []string) (*relational.Relation, Plan, error) {
-	plan, err := u.Plan(query)
+func (u *Interface) Answer(ctx context.Context, query []string) (*relational.Relation, Plan, error) {
+	plan, err := u.Plan(ctx, query)
 	if err != nil {
 		return nil, Plan{}, err
 	}
@@ -193,7 +195,7 @@ func (u *Interface) Answer(query []string) (*relational.Relation, Plan, error) {
 // Interpretations lists alternative query interpretations ranked by the
 // number of auxiliary objects, as label sets — the interactive
 // disambiguation loop of the paper's introduction.
-func (u *Interface) Interpretations(query []string, limit int) ([][]string, error) {
+func (u *Interface) Interpretations(ctx context.Context, query []string, limit int) ([][]string, error) {
 	g := u.inc.B.G()
 	var terminals []int
 	for _, name := range query {
@@ -203,7 +205,10 @@ func (u *Interface) Interpretations(query []string, limit int) ([][]string, erro
 		}
 		terminals = append(terminals, id)
 	}
-	interps := u.conn.Interpretations(terminals, g.N(), limit)
+	interps, err := u.conn.Interpretations(ctx, terminals, g.N(), limit)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]string, len(interps))
 	for i, in := range interps {
 		out[i] = g.Labels(in.Nodes)

@@ -1,6 +1,7 @@
 package ur_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/hypergraph"
@@ -42,7 +43,7 @@ func TestSchemaIsAlphaAcyclicAndUsesAlgorithm1(t *testing.T) {
 	if got := u.Schema.Classify(); got != hypergraph.DegreeBerge {
 		t.Errorf("schema degree = %v (chain should be Berge-acyclic)", got)
 	}
-	plan, err := u.Plan([]string{"name", "area"})
+	plan, err := u.Plan(context.Background(), []string{"name", "area"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSchemaIsAlphaAcyclicAndUsesAlgorithm1(t *testing.T) {
 
 func TestAnswerJoinsAndProjects(t *testing.T) {
 	u := companyDB(t)
-	res, plan, err := u.Answer([]string{"name", "area"})
+	res, plan, err := u.Answer(context.Background(), []string{"name", "area"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestAnswerJoinsAndProjects(t *testing.T) {
 
 func TestAnswerSingleRelation(t *testing.T) {
 	u := companyDB(t)
-	res, plan, err := u.Answer([]string{"name", "dept"})
+	res, plan, err := u.Answer(context.Background(), []string{"name", "dept"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestQueryByRelationName(t *testing.T) {
 	// attribute and resolves to the attribute. Connecting the badge
 	// relation to the dept attribute goes through emp.
 	u := companyDB(t)
-	res, plan, err := u.Answer([]string{"badge", "dept"})
+	res, plan, err := u.Answer(context.Background(), []string{"badge", "dept"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestQueryByRelationName(t *testing.T) {
 
 func TestUnknownNameError(t *testing.T) {
 	u := companyDB(t)
-	if _, err := u.Plan([]string{"nonsense"}); err == nil {
+	if _, err := u.Plan(context.Background(), []string{"nonsense"}); err == nil {
 		t.Error("unknown name accepted")
 	}
 }
@@ -151,7 +152,7 @@ func TestInterpretationsDisambiguation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	interps, err := u.Interpretations([]string{"name", "floor"}, 5)
+	interps, err := u.Interpretations(context.Background(), []string{"name", "floor"}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestAnswerWithoutInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := u.Answer([]string{"a", "b"}); err == nil {
+	if _, _, err := u.Answer(context.Background(), []string{"a", "b"}); err == nil {
 		t.Error("Answer without instance should fail")
 	}
 }
@@ -188,7 +189,7 @@ func TestAccessors(t *testing.T) {
 	if u.Connector() == nil {
 		t.Error("Connector() nil")
 	}
-	plan, err := u.Plan([]string{"name", "floor"})
+	plan, err := u.Plan(context.Background(), []string{"name", "floor"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := conn.Plan([]string{"name", "floor"})
+	p2, err := conn.Plan(context.Background(), []string{"name", "floor"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,10 +219,10 @@ func TestPlanDisconnected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Plan([]string{"a", "b"}); err == nil {
+	if _, err := u.Plan(context.Background(), []string{"a", "b"}); err == nil {
 		t.Error("disconnected query accepted")
 	}
-	if _, err := u.Interpretations([]string{"ghost"}, 1); err == nil {
+	if _, err := u.Interpretations(context.Background(), []string{"ghost"}, 1); err == nil {
 		t.Error("unknown name accepted in Interpretations")
 	}
 }

@@ -1,6 +1,7 @@
 package ur
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relational"
@@ -22,7 +23,7 @@ type Condition struct {
 // Selection pushdown before the semijoin program is the standard
 // optimization the paper's universal-relation references [13, 14] assume;
 // it keeps intermediate results proportional to the restricted data.
-func (u *Interface) AnswerWhere(query []string, conds []Condition) (*relational.Relation, Plan, error) {
+func (u *Interface) AnswerWhere(ctx context.Context, query []string, conds []Condition) (*relational.Relation, Plan, error) {
 	full := append([]string(nil), query...)
 	seen := map[string]bool{}
 	for _, q := range query {
@@ -37,7 +38,7 @@ func (u *Interface) AnswerWhere(query []string, conds []Condition) (*relational.
 			full = append(full, c.Attr)
 		}
 	}
-	plan, err := u.Plan(full)
+	plan, err := u.Plan(ctx, full)
 	if err != nil {
 		return nil, Plan{}, err
 	}

@@ -1,6 +1,7 @@
 package ur_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/relational"
@@ -9,7 +10,7 @@ import (
 
 func TestAnswerWhereSelectsAndProjects(t *testing.T) {
 	u := companyDB(t)
-	res, plan, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "area", Value: "100"}})
+	res, plan, err := u.AnswerWhere(context.Background(), []string{"name"}, []ur.Condition{{Attr: "area", Value: "100"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestAnswerWhereSelectsAndProjects(t *testing.T) {
 
 func TestAnswerWhereConditionOnQueriedAttr(t *testing.T) {
 	u := companyDB(t)
-	res, _, err := u.AnswerWhere([]string{"name", "dept"}, []ur.Condition{{Attr: "dept", Value: "toys"}})
+	res, _, err := u.AnswerWhere(context.Background(), []string{"name", "dept"}, []ur.Condition{{Attr: "dept", Value: "toys"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestAnswerWhereConditionOnQueriedAttr(t *testing.T) {
 
 func TestAnswerWhereEmptySelection(t *testing.T) {
 	u := companyDB(t)
-	res, _, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "floor", Value: "99"}})
+	res, _, err := u.AnswerWhere(context.Background(), []string{"name"}, []ur.Condition{{Attr: "floor", Value: "99"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +52,14 @@ func TestAnswerWhereEmptySelection(t *testing.T) {
 
 func TestAnswerWhereUnknownAttr(t *testing.T) {
 	u := companyDB(t)
-	if _, _, err := u.AnswerWhere([]string{"name"}, []ur.Condition{{Attr: "ghost", Value: "x"}}); err == nil {
+	if _, _, err := u.AnswerWhere(context.Background(), []string{"name"}, []ur.Condition{{Attr: "ghost", Value: "x"}}); err == nil {
 		t.Error("unknown condition attribute accepted")
 	}
 }
 
 func TestAnswerWhereNoConditions(t *testing.T) {
 	u := companyDB(t)
-	res, _, err := u.AnswerWhere([]string{"name", "dept"}, nil)
+	res, _, err := u.AnswerWhere(context.Background(), []string{"name", "dept"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

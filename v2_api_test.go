@@ -1,0 +1,145 @@
+package chordal_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	chordal "repro"
+)
+
+// libraryScheme builds the doc-comment example scheme.
+func libraryScheme() (*chordal.Bipartite, map[string]int) {
+	b := chordal.NewBipartite()
+	ids := map[string]int{}
+	for _, a := range []string{"reader", "book", "author"} {
+		ids[a] = b.AddV1(a)
+	}
+	for name, over := range map[string][]string{
+		"borrows": {"reader", "book"},
+		"wrote":   {"author", "book"},
+	} {
+		ids[name] = b.AddV2(name)
+		for _, a := range over {
+			b.AddEdge(ids[a], ids[name])
+		}
+	}
+	return b, ids
+}
+
+// TestFacadeOpenV2 exercises the v2 entry point end to end: Open with
+// construction options, ctx-first Connect with per-query options, typed
+// error re-exports, and batch serving.
+func TestFacadeOpenV2(t *testing.T) {
+	ctx := context.Background()
+	b, ids := libraryScheme()
+	svc := chordal.Open(b, chordal.WithWorkers(2), chordal.WithCacheSize(16))
+
+	answer, err := svc.Connect(ctx, []int{ids["reader"], ids["author"]},
+		chordal.WithInterpretations(b.N(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answer.Tree.Nodes.Contains(ids["book"]) {
+		t.Errorf("connection should route through book: %v", answer.Tree.Nodes)
+	}
+	if len(answer.Interps) == 0 {
+		t.Error("WithInterpretations returned none")
+	}
+
+	// Typed errors are errors.Is-testable through the facade.
+	if _, err := svc.Connect(ctx, nil); !errors.Is(err, chordal.ErrEmptyQuery) {
+		t.Errorf("empty query: %v", err)
+	}
+	if _, err := svc.Connect(ctx, []int{ids["reader"], ids["reader"]}); !errors.Is(err, chordal.ErrInvalidTerminal) {
+		t.Errorf("duplicate terminal: %v", err)
+	}
+	if _, err := svc.Connect(ctx, []int{b.N() + 5}); !errors.Is(err, chordal.ErrInvalidTerminal) {
+		t.Errorf("out-of-range terminal: %v", err)
+	}
+
+	expired, cancel := context.WithDeadline(ctx, time.Now().Add(-time.Minute))
+	defer cancel()
+	if _, err := svc.Connect(expired, []int{ids["reader"], ids["book"]}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: %v", err)
+	}
+
+	results := svc.ConnectBatch(ctx, [][]int{
+		{ids["reader"], ids["book"]},
+		{ids["author"], ids["book"]},
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("batch query %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestFacadeConstructionOptions covers WithMaxTerminals and
+// WithV1TerminalsOnly at Open time.
+func TestFacadeConstructionOptions(t *testing.T) {
+	ctx := context.Background()
+	b, ids := libraryScheme()
+	svc := chordal.Open(b, chordal.WithMaxTerminals(2), chordal.WithV1TerminalsOnly())
+
+	if _, err := svc.Connect(ctx, []int{ids["reader"], ids["book"], ids["author"]}); !errors.Is(err, chordal.ErrTooManyTerminals) {
+		t.Errorf("terminal budget: %v", err)
+	}
+	if _, err := svc.Connect(ctx, []int{ids["reader"], ids["borrows"]}); !errors.Is(err, chordal.ErrInvalidTerminal) {
+		t.Errorf("V2 terminal under WithV1TerminalsOnly: %v", err)
+	}
+	if _, err := svc.Connect(ctx, []int{ids["reader"], ids["author"]}); err != nil {
+		t.Errorf("valid V1 query rejected: %v", err)
+	}
+}
+
+// TestFacadeRegistry drives the multi-tenant catalog through the facade.
+func TestFacadeRegistry(t *testing.T) {
+	ctx := context.Background()
+	b1, ids := libraryScheme()
+	reg := chordal.NewRegistry()
+	reg.Set("library", b1)
+
+	conn, err := reg.Connect(ctx, "library", []int{ids["reader"], ids["author"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.Tree.Nodes.Len() == 0 {
+		t.Fatal("empty connection")
+	}
+	if _, err := reg.Connect(ctx, "payroll", []int{0}); !errors.Is(err, chordal.ErrUnknownScheme) {
+		t.Errorf("unknown scheme: %v", err)
+	}
+
+	// Swap in a new epoch; the name now answers on it.
+	b2, ids2 := libraryScheme()
+	shelf := b2.AddV2("shelf")
+	b2.AddEdge(ids2["book"], shelf)
+	reg.Set("library", b2)
+	if got := reg.Epoch("library"); got != 2 {
+		t.Fatalf("epoch = %d after swap", got)
+	}
+	if _, err := reg.Connect(ctx, "library", []int{ids2["book"], shelf}); err != nil {
+		t.Errorf("query on swapped-in epoch: %v", err)
+	}
+}
+
+// TestFacadeForcedMethod pins WithMethod through the facade: forcing the
+// heuristic on a scheme the dispatcher would answer exactly.
+func TestFacadeForcedMethod(t *testing.T) {
+	ctx := context.Background()
+	b, ids := libraryScheme()
+	svc := chordal.Open(b)
+	forced, err := svc.Connect(ctx, []int{ids["reader"], ids["author"]},
+		chordal.WithMethod(chordal.MethodHeuristic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Method != chordal.MethodHeuristic {
+		t.Errorf("method = %v, want heuristic", forced.Method)
+	}
+	if forced.Optimal {
+		t.Error("forced heuristic must not claim optimality")
+	}
+}
