@@ -50,6 +50,12 @@
 //	reg.Set("library", b)                      // compile + install
 //	conn, err := reg.Connect(ctx, "library", terms)
 //
+// The Registry can also be served over HTTP to other processes —
+// internal/httpd speaks a JSON protocol reusing this exact contract
+// (typed errors become status codes, timeout_ms becomes a ctx deadline),
+// started via `chordalctl -serve :8080 -registry name=file,...`; see
+// internal/README.md for endpoints and examples/httpclient for a client.
+//
 // Lower-level entry points remain for direct use: NewConnector for a
 // cache-less query answerer, Freeze/FreezeGraph to share a compiled view
 // across goroutines, Classify/ClassifyFrozen for the taxonomy alone.

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// FuzzParseBatch throws arbitrary query files at the batch-line parser in
+// both plain and registry (scheme-prefixed) modes. The parser must never
+// panic, must only fail fatally on scanner errors (over-long lines), and
+// every produced query must be internally consistent: a positive line
+// number, and either a recorded per-query error or a resolved service
+// with in-range terminal ids.
+func FuzzParseBatch(f *testing.F) {
+	b := bipartite.New()
+	a := b.AddV1("reader")
+	bk := b.AddV1("book")
+	r1 := b.AddV2("borrows")
+	b.AddEdge(a, r1)
+	b.AddEdge(bk, r1)
+	svc := core.Open(b)
+	n := b.N()
+
+	resolve := func(name string) (*core.Service, error) {
+		switch name {
+		case "missing":
+			return nil, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name)
+		case "":
+			return nil, fmt.Errorf("registry mode needs a \"scheme:\" prefix on every query line")
+		}
+		return svc, nil
+	}
+
+	seeds := []struct {
+		data     string
+		prefixed bool
+	}{
+		{"reader book\n", false},
+		{"lib: reader book\nlib: book\n", true},
+		{"# comment only\n\n  \n", false},
+		{"missing: reader\n", true},
+		{": reader\n", true},
+		{"lib: reader # trailing comment\n", true},
+		{"unknown-label reader\n", false},
+		{"a:b:c: reader\n", true},
+		{"reader book", false},     // no trailing newline
+		{"lib:\n", true},           // scheme, no labels
+		{"\x00\xff bork\n", false}, // binary junk labels
+		{strings.Repeat("reader book\n", 50), false},
+	}
+	for _, s := range seeds {
+		f.Add(s.data, s.prefixed)
+	}
+
+	f.Fuzz(func(t *testing.T, data string, prefixed bool) {
+		resolver := resolve
+		if !prefixed {
+			resolver = func(string) (*core.Service, error) { return svc, nil }
+		}
+		queries, err := parseQueries(strings.NewReader(data), prefixed, resolver)
+		if err != nil {
+			// The only fatal outcome the parser may produce is a scanner
+			// failure (a line exceeding the bufio limit).
+			if !errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("unexpected fatal error: %v", err)
+			}
+			return
+		}
+		last := 0
+		for i, q := range queries {
+			if q.lineNo <= last {
+				t.Fatalf("query %d: line numbers not increasing: %d after %d", i, q.lineNo, last)
+			}
+			last = q.lineNo
+			if strings.ContainsAny(q.display, "\n\r") {
+				t.Fatalf("query %d: display leaked line breaks: %q", i, q.display)
+			}
+			if q.err != nil {
+				continue
+			}
+			if q.svc == nil {
+				t.Fatalf("query %d: no error but no service", i)
+			}
+			for _, id := range q.terms {
+				if id < 0 || id >= n {
+					t.Fatalf("query %d: resolved terminal %d out of range [0,%d)", i, id, n)
+				}
+			}
+		}
+	})
+}

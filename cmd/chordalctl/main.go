@@ -7,13 +7,17 @@
 // scheme is compiled once (frozen CSR view + classification) and the
 // queries are answered concurrently through the cached core.Service. With
 // -registry one process serves several named schemes at once through a
-// core.Registry.
+// core.Registry. With -serve the registry is exposed over HTTP (the JSON
+// API of internal/httpd: POST /v1/connect, /v1/batch, /v1/interpretations,
+// GET /v1/schemes, /v1/stats) until SIGINT/SIGTERM, with graceful
+// shutdown; a single scheme file is served under the name "default".
 //
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
 //	chordalctl -batch queries.txt [-workers n] [-timeout d] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d]
+//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [file]
 //
 // Reads the graph from the file or standard input ("-batch -" reads the
 // queries from standard input instead; the graph must then come from a
@@ -48,6 +52,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/graphio"
+	"repro/internal/httpd"
 	"repro/internal/hypergraph"
 )
 
@@ -76,8 +81,10 @@ func (e *batchError) Error() string {
 // run implements the tool; factored out of main for tests.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	hyper, jsonOut := false, false
-	batch, registry := "", ""
+	batch, registry, serve := "", "", ""
 	workers := 0
+	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
+	maxTerminals := 0
 	var timeout time.Duration
 	var files []string
 	for i := 0; i < len(args); i++ {
@@ -86,6 +93,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			hyper = true
 		case "-json", "--json":
 			jsonOut = true
+		case "-serve", "--serve":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-serve needs a listen address argument")
+			}
+			serve = args[i]
+		case "-max-inflight", "--max-inflight":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-max-inflight needs a count argument")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-max-inflight: %v", err)
+			}
+			maxInFlight, maxInFlightSet = n, true
+		case "-max-terminals", "--max-terminals":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-max-terminals needs a count argument")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-max-terminals: %v", err)
+			}
+			maxTerminals = n
 		case "-batch", "--batch":
 			i++
 			if i >= len(args) {
@@ -129,8 +162,58 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer cancel()
 	}
 
+	var schemeOpts []core.Option
+	if maxTerminals > 0 {
+		schemeOpts = append(schemeOpts, core.WithMaxTerminals(maxTerminals))
+	}
+
+	// Reject flag combinations that would otherwise be silently ignored —
+	// a server quietly discarding the user's query file is worse than an
+	// error.
+	if serve != "" && batch != "" {
+		return fmt.Errorf("-batch is incompatible with -serve (use POST /v1/batch against the server)")
+	}
+	if serve != "" && jsonOut {
+		return fmt.Errorf("-json is incompatible with -serve (every endpoint already answers JSON)")
+	}
+	if serve == "" && maxInFlightSet {
+		return fmt.Errorf("-max-inflight only applies to -serve")
+	}
+
+	if serve != "" {
+		if workers > 0 {
+			// In serve mode -workers bounds each scheme's /v1/batch pool.
+			schemeOpts = append(schemeOpts, core.WithWorkers(workers))
+		}
+		var reg *core.Registry
+		if registry != "" {
+			var err error
+			reg, err = loadRegistry(registry, hyper, schemeOpts...)
+			if err != nil {
+				return err
+			}
+		} else {
+			in := stdin
+			if len(files) > 0 {
+				f, err := os.Open(files[0])
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				in = f
+			}
+			b, err := readScheme(in, hyper)
+			if err != nil {
+				return err
+			}
+			reg = core.NewRegistry()
+			reg.Set("default", b, schemeOpts...)
+		}
+		return runServe(ctx, serveConfig{addr: serve, maxInFlight: maxInFlight}, reg, stdout)
+	}
+
 	if registry != "" {
-		return runRegistry(ctx, registry, batch, stdin, stdout, stderr, workers, hyper)
+		return runRegistry(ctx, registry, batch, stdin, stdout, stderr, workers, hyper, schemeOpts)
 	}
 
 	in := stdin
@@ -159,7 +242,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		} else if len(files) == 0 {
 			return fmt.Errorf("-batch -: queries on stdin require the graph from a file")
 		}
-		svc := core.Open(b)
+		svc := core.Open(b, schemeOpts...)
 		queries, err := parseQueries(qin, false, func(name string) (*core.Service, error) {
 			return svc, nil
 		})
@@ -181,7 +264,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if jsonOut {
 		return graphio.WriteReport(stdout, b)
 	}
-	describeScheme(stdout, core.New(b))
+	describeScheme(stdout, core.New(b, schemeOpts...))
 	return nil
 }
 
@@ -214,25 +297,35 @@ func describeScheme(stdout io.Writer, conn *core.Connector) {
 	printWitnesses(stdout, "H2", h2)
 }
 
-// runRegistry loads every name=file scheme into a core.Registry and either
-// describes the catalog (no -batch) or serves the query batch against it.
-func runRegistry(ctx context.Context, spec, batch string, stdin io.Reader, stdout, stderr io.Writer, workers int, hyper bool) error {
+// loadRegistry compiles every name=file scheme of the spec into a fresh
+// core.Registry, applying opts to each compile.
+func loadRegistry(spec string, hyper bool, opts ...core.Option) (*core.Registry, error) {
 	reg := core.NewRegistry()
 	for _, pair := range strings.Split(spec, ",") {
 		name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok || name == "" || file == "" {
-			return fmt.Errorf("-registry: bad scheme spec %q (want name=file)", pair)
+			return nil, fmt.Errorf("-registry: bad scheme spec %q (want name=file)", pair)
 		}
 		f, err := os.Open(file)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		b, err := readScheme(f, hyper)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("scheme %q: %w", name, err)
+			return nil, fmt.Errorf("scheme %q: %w", name, err)
 		}
-		reg.Set(name, b)
+		reg.Set(name, b, opts...)
+	}
+	return reg, nil
+}
+
+// runRegistry loads every name=file scheme into a core.Registry and either
+// describes the catalog (no -batch) or serves the query batch against it.
+func runRegistry(ctx context.Context, spec, batch string, stdin io.Reader, stdout, stderr io.Writer, workers int, hyper bool, opts []core.Option) error {
+	reg, err := loadRegistry(spec, hyper, opts...)
+	if err != nil {
+		return err
 	}
 
 	if batch == "" {
@@ -300,6 +393,11 @@ func parseQueries(r io.Reader, prefixed bool, resolve func(scheme string) (*core
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
+		// Scan strips '\n' but not '\r': a CRLF file would otherwise leak a
+		// carriage return into the last label or a scheme name (and from
+		// there into diagnostics). Interior '\r' is whitespace to Fields
+		// already; make it so for the scheme prefix too.
+		line = strings.ReplaceAll(line, "\r", " ")
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 const fig3cInput = `
@@ -223,5 +227,107 @@ func TestRunRegistry(t *testing.T) {
 	}
 	if err := run([]string{"-registry", "broken"}, nil, &out, &errOut); err == nil {
 		t.Error("bad -registry spec accepted")
+	}
+}
+
+// lineWatcher is a concurrency-safe writer that announces the HTTP listen
+// address once run prints its "serving HTTP on <addr>" line.
+type lineWatcher struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addrC chan string
+	found bool
+}
+
+func newLineWatcher() *lineWatcher {
+	return &lineWatcher{addrC: make(chan string, 1)}
+}
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.found {
+		if s := w.buf.String(); strings.Contains(s, "serving HTTP on ") {
+			rest := s[strings.Index(s, "serving HTTP on ")+len("serving HTTP on "):]
+			if i := strings.IndexAny(rest, " \n"); i > 0 {
+				w.found = true
+				w.addrC <- rest[:i]
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func TestRunServe(t *testing.T) {
+	dir := t.TempDir()
+	g1 := filepath.Join(dir, "fig.txt")
+	if err := os.WriteFile(g1, []byte(fig3cInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := newLineWatcher()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "127.0.0.1:0", "-timeout", "2s",
+			"-registry", "fig=" + g1, "-max-terminals", "4",
+		}, strings.NewReader(""), out, io.Discard)
+	}()
+
+	var addr string
+	select {
+	case addr = <-out.addrC:
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(4 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post("http://"+addr+"/v1/connect", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	if code, body := post(`{"scheme":"fig","labels":["A","C"]}`); code != 200 || !strings.Contains(body, `"method"`) {
+		t.Fatalf("connect: %d %s", code, body)
+	}
+	if code, _ := post(`{"scheme":"ghost","labels":["A"]}`); code != 404 {
+		t.Fatalf("unknown scheme: status %d, want 404", code)
+	}
+	if code, body := post(`{"scheme":"fig","labels":["A","B","C","1","2"]}`); code != 429 {
+		t.Fatalf("-max-terminals should shed with 429, got %d %s", code, body)
+	}
+
+	// The -timeout context cancels the server; shutdown must be clean.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("server did not shut down after -timeout")
+	}
+	if !strings.Contains(out.buf.String(), "server stopped") {
+		t.Errorf("missing graceful-stop line:\n%s", out.buf.String())
+	}
+}
+
+func TestServeFlagConflicts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-serve", ":0", "-batch", "q.txt"},
+		{"-serve", ":0", "-json"},
+		{"-max-inflight", "4"}, // only meaningful with -serve
+	} {
+		if err := run(args, strings.NewReader(""), &out, &errOut); err == nil {
+			t.Errorf("args %v accepted, want a flag-conflict error", args)
+		}
 	}
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/httpd"
+)
+
+// serveConfig carries the -serve flags into runServe.
+type serveConfig struct {
+	addr        string // listen address, e.g. ":8080" or "127.0.0.1:0"
+	maxInFlight int    // concurrent-request bound (<=0: unlimited)
+}
+
+// runServe exposes the registry over HTTP on cfg.addr until ctx is
+// canceled or SIGINT/SIGTERM arrives, then shuts down gracefully. The
+// bound address is announced on stdout (one line, machine-greppable) so
+// scripts can use ":0" and discover the port.
+func runServe(ctx context.Context, cfg serveConfig, reg *core.Registry, stdout io.Writer) error {
+	if reg.Len() == 0 {
+		return fmt.Errorf("-serve: no schemes loaded")
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	h := httpd.New(reg, httpd.WithMaxInFlight(cfg.maxInFlight))
+	fmt.Fprintf(stdout, "chordalctl: serving HTTP on %s (schemes: %s)\n",
+		l.Addr(), strings.Join(reg.Names(), " "))
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := httpd.Serve(ctx, l, h, 0); err != nil {
+		return fmt.Errorf("-serve: %w", err)
+	}
+	fmt.Fprintln(stdout, "chordalctl: server stopped")
+	return nil
+}

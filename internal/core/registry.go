@@ -69,6 +69,20 @@ func (r *Registry) Get(name string) (*Service, bool) {
 	return e.svc, true
 }
 
+// Lookup returns the current Service for name together with the epoch it
+// was installed at, read atomically with respect to Set/Drop — use it when
+// an answer must be attributed to the compile that produced it (Get then
+// Epoch can straddle a concurrent swap).
+func (r *Registry) Lookup(name string) (*Service, uint64, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return e.svc, e.epoch, true
+}
+
 // Epoch returns how many times name has been set (1 for the initial
 // install, monotonic across Drop/reinstall), or 0 when it is not
 // currently registered.

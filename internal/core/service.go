@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/intset"
 )
@@ -33,13 +34,18 @@ type Service struct {
 	workers  int
 	capacity int
 
-	mu        sync.Mutex
-	cache     map[string]*list.Element
-	order     *list.List // front = most recently used; values are *cacheEntry
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	bypasses  uint64
+	mu    sync.Mutex
+	cache map[string]*list.Element
+	order *list.List // front = most recently used; values are *cacheEntry
+
+	// Counters are atomics, not mu-guarded fields: Stats() is now a
+	// monitoring endpoint (/v1/stats) polled while queries are in flight,
+	// so reads must neither tear nor contend with the cache lock, and the
+	// bypass path can count itself without taking the lock at all.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	bypasses  atomic.Uint64
 }
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
@@ -97,9 +103,7 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 		return Connection{}, err
 	}
 	if q.bypassCache {
-		s.mu.Lock()
-		s.bypasses++
-		s.mu.Unlock()
+		s.bypasses.Add(1)
 		return s.c.connectValidated(ctx, terminals, q)
 	}
 	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
@@ -107,7 +111,7 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 		s.mu.Lock()
 		if e, ok := s.cache[key]; ok {
 			s.order.MoveToFront(e)
-			s.hits++
+			s.hits.Add(1)
 			ent := e.Value.(*cacheEntry)
 			s.mu.Unlock()
 			select {
@@ -125,14 +129,14 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 			}
 			return ent.conn, ent.err
 		}
-		s.misses++
+		s.misses.Add(1)
 		ent := &cacheEntry{key: key, done: make(chan struct{})}
 		s.cache[key] = s.order.PushFront(ent)
 		if s.order.Len() > s.capacity {
 			oldest := s.order.Back()
 			s.order.Remove(oldest)
 			delete(s.cache, oldest.Value.(*cacheEntry).key)
-			s.evictions++
+			s.evictions.Add(1)
 		}
 		s.mu.Unlock()
 
@@ -233,15 +237,18 @@ type CacheStats struct {
 }
 
 // Stats returns current cache counters. A hit counts any lookup that found
-// an entry, including one still in flight.
+// an entry, including one still in flight. Counters are read atomically so
+// a monitoring poll never blocks on (or tears against) in-flight queries;
+// only the resident-entry count takes the cache lock.
 func (s *Service) Stats() CacheStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	entries := s.order.Len()
+	s.mu.Unlock()
 	return CacheStats{
-		Hits:      s.hits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-		Bypasses:  s.bypasses,
-		Entries:   s.order.Len(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Bypasses:  s.bypasses.Load(),
+		Entries:   entries,
 	}
 }

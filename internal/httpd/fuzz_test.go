@@ -1,0 +1,91 @@
+package httpd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fuzzStatuses is the complete documented status set of the API; a fuzzed
+// request producing anything else is a contract violation.
+var fuzzStatuses = map[int]bool{
+	http.StatusOK:                    true,
+	http.StatusBadRequest:            true,
+	http.StatusNotFound:              true,
+	http.StatusRequestEntityTooLarge: true,
+	http.StatusUnprocessableEntity:   true,
+	http.StatusTooManyRequests:       true,
+	http.StatusGatewayTimeout:        true,
+	http.StatusInternalServerError:   true,
+}
+
+// FuzzHandleConnect throws arbitrary bodies at POST /v1/connect: malformed
+// JSON, out-of-range/duplicate/huge terminal lists, bogus options. The
+// handler must never panic, must always answer JSON, and must stay inside
+// the documented status set; 200s must parse as ConnectResponse with
+// consistent node/label lengths.
+func FuzzHandleConnect(f *testing.F) {
+	reg := core.NewRegistry()
+	reg.Set("lib", fig3c(), core.WithMaxTerminals(4))
+	reg.Set("payroll", payroll())
+	h := New(reg, WithMaxBodyBytes(1<<16), WithMaxTimeout(200*time.Millisecond))
+
+	seeds := []string{
+		`{"scheme":"lib","terminals":[0,2]}`,
+		`{"scheme":"lib","labels":["A","C"],"method":"exact"}`,
+		`{"labels":["ename","floor"]}`,
+		`{"scheme":"lib","terminals":[]}`,
+		`{"scheme":"lib","terminals":[0,0,0]}`,
+		`{"scheme":"lib","terminals":[0,1,2,3,4,5,6,7,8,9]}`,
+		`{"scheme":"lib","terminals":[-1,99999999]}`,
+		`{"scheme":"nope","terminals":[0]}`,
+		`{"scheme":"lib","terminals":[0],"timeout_ms":-5}`,
+		`{"scheme":"lib","terminals":[0],"interpretations":{"max_aux":2,"limit":3}}`,
+		`{"scheme":"lib","terminals":[0],"method":"algorithm-1","cache_bypass":true}`,
+		`{"scheme":"lib",`,
+		`[1,2,3]`,
+		`{"scheme":"lib","terminals":[0]} trailing`,
+		`{"scheme":"lib","terminals":[0],"unknown_field":true}`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r := httptest.NewRequest("POST", "/v1/connect", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if !fuzzStatuses[w.Code] {
+			t.Fatalf("undocumented status %d for body %q (response %s)", w.Code, body, w.Body.String())
+		}
+		if w.Code == http.StatusInternalServerError {
+			t.Fatalf("500 for body %q: %s", body, w.Body.String())
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type %q for body %q", ct, body)
+		}
+		if w.Code == http.StatusOK {
+			var resp ConnectResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body not a ConnectResponse for %q: %v", body, err)
+			}
+			if len(resp.Nodes) == 0 || len(resp.Nodes) != len(resp.Labels) {
+				t.Fatalf("inconsistent answer for %q: %+v", body, resp)
+			}
+		} else {
+			var eb ErrorBody
+			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("error body not JSON for %q: %v", body, err)
+			}
+			if eb.Status != w.Code || eb.Code == "" {
+				t.Fatalf("error body %+v disagrees with status %d", eb, w.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,519 @@
+// Package httpd serves the core.Registry over HTTP: the first
+// multi-process surface of the repository. The handler speaks a small JSON
+// protocol that reuses the v2 query contract end to end — per-request
+// deadlines (a timeout_ms field on top of the request context),
+// load-shedding through the schemes' WithMaxTerminals budget and a bounded
+// in-flight limiter, and the typed error taxonomy of internal/core mapped
+// onto HTTP status codes (see errorStatus in wire.go).
+//
+// Endpoints:
+//
+//	POST /v1/connect          one minimal-connection query
+//	POST /v1/batch            many queries against one scheme, in order
+//	POST /v1/interpretations  ranked alternative readings of a query
+//	GET  /v1/schemes          the registered schemes and their classes
+//	GET  /v1/stats            per-scheme answer-cache counters
+//
+// Because every answer is produced by the same Service/Connector stack the
+// in-process API uses, a wire answer is bit-for-bit the in-process answer;
+// equivalence_test.go holds the handler to that over randomized schemes.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Defaults for the handler knobs; override with the With… options.
+const (
+	DefaultMaxInFlight  = 256
+	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
+	DefaultMaxTimeout   = 30 * time.Second
+	DefaultInterpLimit  = 5
+)
+
+// Handler serves the v1 HTTP API over a Registry. It is an http.Handler;
+// all methods are safe for concurrent use (the Registry may be updated —
+// Set/Drop — while the handler is serving).
+type Handler struct {
+	reg        *core.Registry
+	mux        *http.ServeMux
+	sem        chan struct{} // nil: unlimited
+	maxBody    int64
+	maxTimeout time.Duration
+}
+
+// HandlerOption configures New.
+type HandlerOption func(*Handler)
+
+// WithMaxInFlight bounds concurrently-served requests; excess requests are
+// shed immediately with 429/overloaded and a Retry-After header rather
+// than queued. Non-positive means unlimited.
+func WithMaxInFlight(n int) HandlerOption {
+	return func(h *Handler) {
+		if n > 0 {
+			h.sem = make(chan struct{}, n)
+		} else {
+			h.sem = nil
+		}
+	}
+}
+
+// WithMaxBodyBytes bounds request body size (413 beyond it).
+func WithMaxBodyBytes(n int64) HandlerOption {
+	return func(h *Handler) { h.maxBody = n }
+}
+
+// WithMaxTimeout caps the per-request deadline. Requests without a
+// timeout_ms get exactly this deadline; larger timeout_ms values are
+// clamped to it. Non-positive disables the cap (requests then run on the
+// connection's context alone).
+func WithMaxTimeout(d time.Duration) HandlerOption {
+	return func(h *Handler) { h.maxTimeout = d }
+}
+
+// New returns a Handler serving reg.
+func New(reg *core.Registry, opts ...HandlerOption) *Handler {
+	h := &Handler{
+		reg:        reg,
+		maxBody:    DefaultMaxBodyBytes,
+		maxTimeout: DefaultMaxTimeout,
+		sem:        make(chan struct{}, DefaultMaxInFlight),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/connect", h.handleConnect)
+	mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	mux.HandleFunc("POST /v1/interpretations", h.handleInterpretations)
+	mux.HandleFunc("GET /v1/schemes", h.handleSchemes)
+	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux = mux
+	return h
+}
+
+// ServeHTTP applies the in-flight limiter, then routes. Shedding happens
+// before routing so an overloaded server does even less work per rejected
+// request. Read-only GETs (/v1/schemes, /v1/stats) are exempt: they do no
+// solver work, and monitoring must keep answering precisely when the
+// limiter is rejecting query traffic.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.sem != nil && r.Method != http.MethodGet {
+		select {
+		case h.sem <- struct{}{}:
+			defer func() { <-h.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				"server is at its in-flight request limit")
+			return
+		}
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+// resolveScheme looks the scheme up, defaulting to the sole registered
+// scheme when the request leaves the name empty. The returned epoch is
+// read atomically with the Service, so the response attributes the answer
+// to the compile that actually produced it even if a concurrent Set swaps
+// the scheme mid-query.
+func (h *Handler) resolveScheme(name string) (*core.Service, string, uint64, error) {
+	if name == "" {
+		if names := h.reg.Names(); len(names) == 1 {
+			name = names[0]
+		} else {
+			return nil, "", 0, fmt.Errorf("%w: request names no scheme and %d are registered",
+				core.ErrUnknownScheme, len(names))
+		}
+	}
+	svc, epoch, ok := h.reg.Lookup(name)
+	if !ok {
+		return nil, "", 0, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name)
+	}
+	return svc, name, epoch, nil
+}
+
+// resolveTerminals returns the query's terminal ids, translating labels
+// when the request used them. Validation proper (range, duplicates,
+// budget) stays in core — this only rejects the ambiguous both-set case
+// and unknown labels.
+func resolveTerminals(svc *core.Service, terminals []int, labels []string) ([]int, *ErrorBody) {
+	if len(labels) == 0 {
+		return terminals, nil
+	}
+	if len(terminals) > 0 {
+		return nil, &ErrorBody{
+			Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "set either terminals or labels, not both",
+		}
+	}
+	g := svc.Connector().Graph().G()
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := g.ID(l)
+		if !ok {
+			return nil, &ErrorBody{
+				Status: http.StatusUnprocessableEntity, Code: CodeUnknownLabel,
+				Message: fmt.Sprintf("unknown node label %q", l),
+			}
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// requestContext derives the query context: the connection's context,
+// bounded by timeout_ms clamped to the server cap (or by the cap alone
+// when the request named none). Negative timeout_ms is a client bug the
+// caller must reject before getting here — see checkTimeout.
+func (h *Handler) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if h.maxTimeout > 0 && (d <= 0 || d > h.maxTimeout) {
+		d = h.maxTimeout
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// checkTimeout rejects a negative timeout_ms: a client that computed an
+// impossible deadline should fail fast, not be promoted to the server's
+// full budget.
+func checkTimeout(timeoutMS int64) *ErrorBody {
+	if timeoutMS < 0 {
+		return &ErrorBody{
+			Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "timeout_ms must be non-negative",
+		}
+	}
+	return nil
+}
+
+// normalizeInterp validates an InterpSpec and applies the default limit —
+// the single source of those rules for /v1/connect and
+// /v1/interpretations alike.
+func normalizeInterp(spec InterpSpec) (maxAux, limit int, eb *ErrorBody) {
+	if spec.MaxAux < 0 || spec.Limit < 0 {
+		return 0, 0, &ErrorBody{
+			Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "max_aux and limit must be non-negative",
+		}
+	}
+	limit = spec.Limit
+	if limit == 0 {
+		limit = DefaultInterpLimit
+	}
+	return spec.MaxAux, limit, nil
+}
+
+// queryOptions folds the wire fields into core query options.
+func queryOptions(method string, exactLimit int, interp *InterpSpec, bypass bool) ([]core.QueryOption, *ErrorBody) {
+	m, ok := parseMethod(method)
+	if !ok {
+		return nil, &ErrorBody{
+			Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: fmt.Sprintf("unknown method %q (want auto, algorithm-1, algorithm-2, exact or heuristic)", method),
+		}
+	}
+	var opts []core.QueryOption
+	if m != core.MethodAuto {
+		opts = append(opts, core.WithMethod(m))
+	}
+	if exactLimit < 0 {
+		return nil, &ErrorBody{
+			Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: "exact_limit must be non-negative",
+		}
+	}
+	if exactLimit > 0 {
+		opts = append(opts, core.WithQueryExactLimit(exactLimit))
+	}
+	if interp != nil {
+		maxAux, limit, eb := normalizeInterp(*interp)
+		if eb != nil {
+			return nil, eb
+		}
+		opts = append(opts, core.WithInterpretations(maxAux, limit))
+	}
+	if bypass {
+		opts = append(opts, core.WithCacheBypass())
+	}
+	return opts, nil
+}
+
+func (h *Handler) handleConnect(w http.ResponseWriter, r *http.Request) {
+	var req ConnectRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	svc, name, epoch, err := h.resolveScheme(req.Scheme)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	terms, eb := resolveTerminals(svc, req.Terminals, req.Labels)
+	if eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	opts, eb := queryOptions(req.Method, req.ExactLimit, req.Interpretations, req.CacheBypass)
+	if eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	if eb := checkTimeout(req.TimeoutMS); eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	ctx, cancel := h.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	conn, err := svc.Connect(ctx, terms, opts...)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConnectResponse{
+		Scheme: name,
+		Epoch:  epoch,
+		Answer: answerOf(svc, conn),
+	})
+}
+
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	svc, name, epoch, err := h.resolveScheme(req.Scheme)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	opts, eb := queryOptions(req.Method, req.ExactLimit, nil, req.CacheBypass)
+	if eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	if eb := checkTimeout(req.TimeoutMS); eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	ctx, cancel := h.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	results := svc.ConnectBatch(ctx, req.Queries, opts...)
+	resp := BatchResponse{
+		Scheme:  name,
+		Epoch:   epoch,
+		Results: make([]BatchItem, len(results)),
+	}
+	for i, res := range results {
+		item := BatchItem{Terminals: nonNilInts(res.Terminals)}
+		if res.Err != nil {
+			status, code := errorStatus(res.Err)
+			item.Error = &ErrorBody{Status: status, Code: code, Message: res.Err.Error()}
+			resp.Failed++
+		} else {
+			a := answerOf(svc, res.Conn)
+			item.Answer = &a
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleInterpretations(w http.ResponseWriter, r *http.Request) {
+	var req InterpretationsRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	svc, name, epoch, err := h.resolveScheme(req.Scheme)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	terms, eb := resolveTerminals(svc, req.Terminals, req.Labels)
+	if eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	maxAux, limit, eb := normalizeInterp(InterpSpec{MaxAux: req.MaxAux, Limit: req.Limit})
+	if eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	if eb := checkTimeout(req.TimeoutMS); eb != nil {
+		writeErrorBody(w, eb)
+		return
+	}
+	ctx, cancel := h.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	interps, err := svc.Connector().Interpretations(ctx, terms, maxAux, limit)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InterpretationsResponse{
+		Scheme:          name,
+		Epoch:           epoch,
+		Interpretations: interpBodies(svc, interps),
+	})
+}
+
+func (h *Handler) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	resp := SchemesResponse{Schemes: []SchemeInfo{}}
+	for _, name := range h.reg.Names() {
+		svc, epoch, ok := h.reg.Lookup(name)
+		if !ok { // dropped between Names and Lookup
+			continue
+		}
+		c := svc.Connector()
+		b := c.Graph()
+		cl := c.Class()
+		guarantee := "none"
+		switch {
+		case cl.Chordal62:
+			guarantee = "optimal-steiner (Theorem 5)"
+		case cl.AlphaV1():
+			guarantee = "v2-minimal (Theorem 3)"
+		}
+		resp.Schemes = append(resp.Schemes, SchemeInfo{
+			Name:    name,
+			Epoch:   epoch,
+			V1Nodes: len(b.V1()),
+			V2Nodes: len(b.V2()),
+			Arcs:    b.M(),
+			Class: ClassBody{
+				Chordal41:   cl.Chordal41,
+				Chordal62:   cl.Chordal62,
+				Chordal61:   cl.Chordal61,
+				V1Chordal:   cl.V1Chordal,
+				V1Conformal: cl.V1Conformal,
+				V2Chordal:   cl.V2Chordal,
+				V2Conformal: cl.V2Conformal,
+			},
+			Guarantee: guarantee,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Schemes: map[string]SchemeStats{}}
+	for _, name := range h.reg.Names() {
+		svc, epoch, ok := h.reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		st := svc.Stats()
+		resp.Schemes[name] = SchemeStats{
+			Epoch:     epoch,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Bypasses:  st.Bypasses,
+			Entries:   st.Entries,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answerOf renders a solved Connection for the wire. Slices are always
+// non-nil so clients (and golden files) see [] rather than null.
+func answerOf(svc *core.Service, conn core.Connection) Answer {
+	g := svc.Connector().Graph().G()
+	edges := make([][2]int, len(conn.Tree.Edges))
+	for i, e := range conn.Tree.Edges {
+		edges[i] = [2]int{e.U, e.V}
+	}
+	return Answer{
+		Method:          conn.Method.String(),
+		Optimal:         conn.Optimal,
+		V2Optimal:       conn.V2Optimal,
+		Rationale:       conn.Rationale,
+		Nodes:           nonNilInts(conn.Tree.Nodes),
+		Labels:          g.Labels(conn.Tree.Nodes),
+		Edges:           edges,
+		Interpretations: interpBodies(svc, conn.Interps),
+	}
+}
+
+// interpBodies renders ranked interpretations; nil in, nil out (the field
+// is omitempty — absence means "not requested").
+func interpBodies(svc *core.Service, interps []core.Interpretation) []InterpretationBody {
+	if interps == nil {
+		return nil
+	}
+	g := svc.Connector().Graph().G()
+	out := make([]InterpretationBody, len(interps))
+	for i, ip := range interps {
+		out[i] = InterpretationBody{
+			Nodes:     nonNilInts(ip.Nodes),
+			Labels:    g.Labels(ip.Nodes),
+			Auxiliary: nonNilInts(ip.Auxiliary),
+		}
+	}
+	return out
+}
+
+// nonNilInts copies s so JSON renders [] for empty and the response does
+// not alias solver-owned memory.
+func nonNilInts(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// decode parses the single-JSON-object request body with unknown fields
+// rejected and the configured size cap applied; on failure it writes the
+// error response and returns false.
+func (h *Handler) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", h.maxBody))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// writeQueryError maps a typed query error to its HTTP response.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeError(w, status, code, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorBody(w, &ErrorBody{Status: status, Code: code, Message: msg})
+}
+
+func writeErrorBody(w http.ResponseWriter, eb *ErrorBody) {
+	writeJSON(w, eb.Status, eb)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding a value built from already-valid data cannot fail except on
+	// a broken connection, which has no useful recovery.
+	_ = enc.Encode(v)
+}

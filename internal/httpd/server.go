@@ -1,0 +1,51 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultShutdownGrace is how long Serve waits for in-flight requests
+// after its context is canceled before forcing connections closed.
+const DefaultShutdownGrace = 5 * time.Second
+
+// Serve serves h on l until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately (no new connections) and in-flight query
+// contexts are canceled — a request mid-solve answers 504/canceled rather
+// than burning the shutdown window on a doomed search. The grace period
+// bounds how long connections may take to flush those responses before
+// being force-closed. A non-positive grace selects DefaultShutdownGrace.
+// It returns nil on a clean shutdown and the serve or shutdown error
+// otherwise; the listener is closed in every case.
+func Serve(ctx context.Context, l net.Listener, h http.Handler, grace time.Duration) error {
+	if grace <= 0 {
+		grace = DefaultShutdownGrace
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		// BaseContext ties every request context to ctx, so canceling the
+		// serve context also cancels queries still inside a solver — the
+		// grace period is for writing responses, not for unbounded work.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		// Serve only returns before a Shutdown on a real listener error.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = srv.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	return err
+}

@@ -1,0 +1,239 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/steiner"
+)
+
+// The wire format of the v1 HTTP API. Every request body is a single JSON
+// object (unknown fields rejected), every response is JSON. Failures carry
+// an ErrorBody whose Code is machine-readable and whose HTTP status comes
+// from the typed error taxonomy of internal/core — see errorStatus.
+
+// ConnectRequest is the body of POST /v1/connect.
+type ConnectRequest struct {
+	// Scheme names the registry entry to query. It may be omitted when
+	// exactly one scheme is registered.
+	Scheme string `json:"scheme,omitempty"`
+	// Terminals lists query terminals by node id; Labels lists them by
+	// node label. Exactly one of the two must be set.
+	Terminals []int    `json:"terminals,omitempty"`
+	Labels    []string `json:"labels,omitempty"`
+	// Method forces a solver: "auto" (default), "algorithm-1",
+	// "algorithm-2", "exact", "heuristic".
+	Method string `json:"method,omitempty"`
+	// ExactLimit overrides the exact/heuristic dispatch threshold for this
+	// query (WithQueryExactLimit); 0 keeps the scheme's default.
+	ExactLimit int `json:"exact_limit,omitempty"`
+	// Interpretations also enumerates ranked alternative readings into the
+	// answer (WithInterpretations).
+	Interpretations *InterpSpec `json:"interpretations,omitempty"`
+	// CacheBypass answers around the Service cache (WithCacheBypass).
+	CacheBypass bool `json:"cache_bypass,omitempty"`
+	// TimeoutMS bounds this query; it is clamped to the server's limit.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// InterpSpec asks for up to Limit ranked interpretations with at most
+// MaxAux auxiliary nodes each.
+type InterpSpec struct {
+	MaxAux int `json:"max_aux"`
+	Limit  int `json:"limit"`
+}
+
+// Answer is one solved connection query as it travels the wire.
+type Answer struct {
+	Method    string   `json:"method"`
+	Optimal   bool     `json:"optimal"`
+	V2Optimal bool     `json:"v2_optimal"`
+	Rationale string   `json:"rationale,omitempty"`
+	Nodes     []int    `json:"nodes"`
+	Labels    []string `json:"labels"`
+	Edges     [][2]int `json:"edges"`
+	// Interpretations is present when the request asked for them.
+	Interpretations []InterpretationBody `json:"interpretations,omitempty"`
+}
+
+// InterpretationBody is one ranked alternative reading of a query.
+type InterpretationBody struct {
+	Nodes     []int    `json:"nodes"`
+	Labels    []string `json:"labels"`
+	Auxiliary []int    `json:"auxiliary"`
+}
+
+// ConnectResponse is the body of a successful POST /v1/connect.
+type ConnectResponse struct {
+	Scheme string `json:"scheme"`
+	Epoch  uint64 `json:"epoch"`
+	Answer
+}
+
+// BatchRequest is the body of POST /v1/batch: many terminal-id queries
+// against one scheme, sharing the same options.
+type BatchRequest struct {
+	Scheme      string  `json:"scheme,omitempty"`
+	Queries     [][]int `json:"queries"`
+	Method      string  `json:"method,omitempty"`
+	ExactLimit  int     `json:"exact_limit,omitempty"`
+	CacheBypass bool    `json:"cache_bypass,omitempty"`
+	TimeoutMS   int64   `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch in query order. The HTTP status is
+// 200 as long as the batch itself was well-formed; per-query failures are
+// reported inline so one bad query does not discard its siblings' answers.
+type BatchResponse struct {
+	Scheme  string      `json:"scheme"`
+	Epoch   uint64      `json:"epoch"`
+	Results []BatchItem `json:"results"`
+	Failed  int         `json:"failed"`
+}
+
+// BatchItem is one batch answer: exactly one of Answer and Error is set.
+type BatchItem struct {
+	Terminals []int      `json:"terminals"`
+	Answer    *Answer    `json:"answer,omitempty"`
+	Error     *ErrorBody `json:"error,omitempty"`
+}
+
+// InterpretationsRequest is the body of POST /v1/interpretations.
+type InterpretationsRequest struct {
+	Scheme    string   `json:"scheme,omitempty"`
+	Terminals []int    `json:"terminals,omitempty"`
+	Labels    []string `json:"labels,omitempty"`
+	// MaxAux bounds auxiliary nodes per interpretation (0 is meaningful:
+	// terminal-only covers). Limit caps the list; 0 selects
+	// DefaultInterpLimit.
+	MaxAux    int   `json:"max_aux"`
+	Limit     int   `json:"limit,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// InterpretationsResponse is the body of a successful
+// POST /v1/interpretations, ranked smallest-auxiliary-set first.
+type InterpretationsResponse struct {
+	Scheme          string               `json:"scheme"`
+	Epoch           uint64               `json:"epoch"`
+	Interpretations []InterpretationBody `json:"interpretations"`
+}
+
+// SchemeInfo describes one registry entry in GET /v1/schemes.
+type SchemeInfo struct {
+	Name      string    `json:"name"`
+	Epoch     uint64    `json:"epoch"`
+	V1Nodes   int       `json:"v1_nodes"`
+	V2Nodes   int       `json:"v2_nodes"`
+	Arcs      int       `json:"arcs"`
+	Class     ClassBody `json:"class"`
+	Guarantee string    `json:"guarantee"`
+}
+
+// ClassBody is the chordality classification on the wire.
+type ClassBody struct {
+	Chordal41   bool `json:"chordal_4_1"`
+	Chordal62   bool `json:"chordal_6_2"`
+	Chordal61   bool `json:"chordal_6_1"`
+	V1Chordal   bool `json:"v1_chordal"`
+	V1Conformal bool `json:"v1_conformal"`
+	V2Chordal   bool `json:"v2_chordal"`
+	V2Conformal bool `json:"v2_conformal"`
+}
+
+// SchemesResponse is the body of GET /v1/schemes.
+type SchemesResponse struct {
+	Schemes []SchemeInfo `json:"schemes"`
+}
+
+// SchemeStats is one scheme's cache counters in GET /v1/stats.
+type SchemeStats struct {
+	Epoch     uint64 `json:"epoch"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Bypasses  uint64 `json:"bypasses"`
+	Entries   int    `json:"entries"`
+}
+
+// StatsResponse is the body of GET /v1/stats, keyed by scheme name.
+type StatsResponse struct {
+	Schemes map[string]SchemeStats `json:"schemes"`
+}
+
+// ErrorBody is the JSON shape of every failure response.
+type ErrorBody struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+// Machine-readable error codes. Each maps to exactly one HTTP status — the
+// documented contract tests and fuzzers hold the handler to.
+const (
+	CodeBadRequest    = "bad_request"    // 400: malformed body or fields
+	CodeUnknownScheme = "unknown_scheme" // 404: scheme not registered
+	CodeBodyTooLarge  = "body_too_large" // 413: body over the server limit
+	CodeEmptyQuery    = "empty_query"    // 422
+	CodeInvalidTerm   = "invalid_terminal"
+	CodeUnknownLabel  = "unknown_label"
+	CodeDisconnected  = "disconnected_terminals"
+	CodeNotAlpha      = "not_alpha_acyclic"
+	CodeTooManyTerms  = "too_many_terminals" // 429: load shed (WithMaxTerminals)
+	CodeOverloaded    = "overloaded"         // 429: in-flight limiter full
+	CodeDeadline      = "deadline_exceeded"  // 504
+	CodeCanceled      = "canceled"           // 504
+	CodeInternal      = "internal"           // 500
+)
+
+// errorStatus maps a typed query error to its HTTP status and wire code:
+//
+//	ErrUnknownScheme                          → 404
+//	ErrEmptyQuery / ErrInvalidTerminal /
+//	ErrDisconnectedTerminals / ErrNotAlphaAcyclic → 422
+//	ErrTooManyTerminals                       → 429 (load shedding)
+//	context.DeadlineExceeded / Canceled       → 504
+//	anything else                             → 500
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrUnknownScheme):
+		return http.StatusNotFound, CodeUnknownScheme
+	case errors.Is(err, core.ErrTooManyTerminals):
+		return http.StatusTooManyRequests, CodeTooManyTerms
+	case errors.Is(err, core.ErrEmptyQuery):
+		return http.StatusUnprocessableEntity, CodeEmptyQuery
+	case errors.Is(err, core.ErrInvalidTerminal):
+		return http.StatusUnprocessableEntity, CodeInvalidTerm
+	case errors.Is(err, steiner.ErrDisconnectedTerminals):
+		return http.StatusUnprocessableEntity, CodeDisconnected
+	case errors.Is(err, steiner.ErrNotAlphaAcyclic):
+		return http.StatusUnprocessableEntity, CodeNotAlpha
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, CodeCanceled
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// parseMethod maps the wire method name to a core.Method; the empty string
+// selects dispatch-by-classification.
+func parseMethod(s string) (core.Method, bool) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return core.MethodAuto, true
+	case "algorithm-2", "algorithm2":
+		return core.MethodAlgorithm2, true
+	case "algorithm-1", "algorithm1":
+		return core.MethodAlgorithm1, true
+	case "exact":
+		return core.MethodExact, true
+	case "heuristic":
+		return core.MethodHeuristic, true
+	}
+	return 0, false
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the HTTP surface: build chordalctl, boot -serve on a
+# loopback port, run a scripted batch of curl queries, and diff the
+# responses against the checked-in golden transcript. Run with --update to
+# regenerate the golden file after an intentional wire-format change.
+#
+# Usage: scripts/http_e2e.sh [--update]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GOLDEN=scripts/testdata/http_e2e.golden
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/chordalctl" ./cmd/chordalctl
+
+# The paper's Figure 3(c) scheme (with its single chord) plus a tiny tree.
+cat > "$WORK/library.txt" <<'EOF'
+v1 A
+v1 B
+v1 C
+v2 1
+v2 2
+v2 3
+edge A 1
+edge B 1
+edge B 2
+edge C 2
+edge C 3
+edge A 3
+edge C 1
+EOF
+cat > "$WORK/tiny.txt" <<'EOF'
+v1 x
+v1 y
+v2 r
+edge x r
+edge y r
+EOF
+
+"$WORK/chordalctl" -serve 127.0.0.1:0 \
+  -registry "library=$WORK/library.txt,tiny=$WORK/tiny.txt" \
+  -max-terminals 5 > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the announced listen address.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^chordalctl: serving HTTP on \([^ ]*\).*/\1/p' "$WORK/server.log")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.log" >&2; echo "server died" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never announced its address" >&2; exit 1; }
+BASE="http://$ADDR"
+
+req() { # req NAME METHOD PATH [BODY]
+  local name=$1 method=$2 path=$3 body=${4-}
+  echo "=== $name"
+  if [ "$method" = GET ]; then
+    curl -sS -w 'status:%{http_code}\n' "$BASE$path"
+  else
+    curl -sS -w 'status:%{http_code}\n' -H 'Content-Type: application/json' -d "$body" "$BASE$path"
+  fi
+}
+
+GOT="$WORK/got.txt"
+{
+  req schemes            GET  /v1/schemes
+  req connect-labels     POST /v1/connect '{"scheme":"library","labels":["A","C"]}'
+  req connect-cached     POST /v1/connect '{"scheme":"library","labels":["A","C"]}'
+  req connect-forced     POST /v1/connect '{"scheme":"library","labels":["A","C"],"method":"heuristic"}'
+  req connect-interps    POST /v1/connect '{"scheme":"library","labels":["A","C"],"interpretations":{"max_aux":2,"limit":3}}'
+  req unknown-scheme     POST /v1/connect '{"scheme":"ghost","terminals":[0]}'
+  req duplicate-terminal POST /v1/connect '{"scheme":"library","terminals":[0,0]}'
+  req over-budget        POST /v1/connect '{"scheme":"library","terminals":[0,1,2,3,4,5]}'
+  req empty-query        POST /v1/connect '{"scheme":"tiny","terminals":[]}'
+  req bad-json           POST /v1/connect '{"scheme":'
+  req batch              POST /v1/batch '{"scheme":"tiny","queries":[[0,1],[0,1],[99]]}'
+  req interpretations    POST /v1/interpretations '{"scheme":"library","labels":["A","C"],"max_aux":2,"limit":3}'
+  req stats              GET  /v1/stats
+} > "$GOT"
+
+# Graceful shutdown: SIGTERM must produce a clean exit.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "server exited non-zero after SIGTERM" >&2; cat "$WORK/server.log" >&2; exit 1; }
+grep -q 'server stopped' "$WORK/server.log" || { echo "missing graceful-stop line" >&2; cat "$WORK/server.log" >&2; exit 1; }
+
+if [ "${1-}" = --update ]; then
+  mkdir -p "$(dirname "$GOLDEN")"
+  cp "$GOT" "$GOLDEN"
+  echo "updated $GOLDEN"
+  exit 0
+fi
+
+diff -u "$GOLDEN" "$GOT" || { echo "HTTP e2e output diverged from golden" >&2; exit 1; }
+echo "http e2e OK ($(grep -c '^===' "$GOT") requests)"
