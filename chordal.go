@@ -55,6 +55,28 @@
 // (typed errors become status codes, timeout_ms becomes a ctx deadline),
 // started via `chordalctl -serve :8080 -registry name=file,...`; see
 // internal/README.md for endpoints and examples/httpclient for a client.
+// Live admin endpoints (GET /v1/schemes/{name}/snapshot, PUT and DELETE
+// /v1/schemes/{name}) let a running server be populated, snapshotted and
+// pruned without a restart.
+//
+// # Persistent compiled schemes
+//
+// Compiling is Freeze+Classify; both are polynomial but neither is free,
+// and a Registry holding thousands of schemes should not redo them on
+// every boot. A compiled epoch serializes to a versioned, checksummed
+// binary snapshot (internal/snapshot; `chordalctl -compile out.snap`)
+// whose hot sections decode zero-copy from an mmap-able buffer:
+//
+//	svc := chordal.Open(b)
+//	var buf bytes.Buffer
+//	_ = svc.SaveSnapshot(&buf)                 // persist the epoch
+//	snap, _ := chordal.DecodeSnapshot(buf.Bytes())
+//	svc2 := chordal.OpenSnapshot(snap)         // boot: no Freeze, no Classify
+//
+// A loaded epoch answers bit-for-bit like a live compile and installs into
+// a Registry with the same atomic swap semantics (Registry.LoadSnapshot /
+// SaveSnapshot). Damaged files fail with typed errors: ErrNotSnapshot,
+// ErrSnapshotVersion, ErrSnapshotChecksum, ErrSnapshotCorrupt.
 //
 // Lower-level entry points remain for direct use: NewConnector for a
 // cache-less query answerer, Freeze/FreezeGraph to share a compiled view
@@ -75,6 +97,8 @@
 //	internal/core        the v2 query layer: validation, typed errors,
 //	                     options, dispatch, ranking, the cached Service,
 //	                     the multi-tenant Registry
+//	internal/snapshot    persistent compiled epochs: the versioned binary
+//	                     catalog format, zero-copy decode, mmap open
 //	internal/relational  relations, joins, semijoins, Yannakakis
 //	internal/schema      relational schemes as hypergraphs
 //	internal/ur          universal-relation interface
@@ -93,6 +117,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
+	"repro/internal/snapshot"
 	"repro/internal/steiner"
 )
 
@@ -136,6 +161,10 @@ type (
 	Option = core.Option
 	// QueryOption configures a single Connect/ConnectBatch call.
 	QueryOption = core.QueryOption
+	// Snapshot is a decoded persistent compiled-scheme epoch.
+	Snapshot = snapshot.Snapshot
+	// MappedSnapshot is a snapshot backed by an mmap-ed catalog file.
+	MappedSnapshot = snapshot.Mapped
 )
 
 // Methods, re-exported for WithMethod.
@@ -155,6 +184,14 @@ var (
 	ErrUnknownScheme         = core.ErrUnknownScheme
 	ErrDisconnectedTerminals = steiner.ErrDisconnectedTerminals
 	ErrNotAlphaAcyclic       = steiner.ErrNotAlphaAcyclic
+)
+
+// Typed snapshot-decode errors, re-exported for errors.Is at the facade.
+var (
+	ErrNotSnapshot      = snapshot.ErrNotSnapshot
+	ErrSnapshotVersion  = snapshot.ErrUnsupportedVersion
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	ErrSnapshotCorrupt  = snapshot.ErrCorrupt
 )
 
 // Construction options, re-exported from internal/core.
@@ -220,6 +257,39 @@ func ClassifyFrozen(fb *FrozenBipartite) Class { return chordality.ClassifyFroze
 
 // FromHypergraph returns the bipartite incidence graph of h.
 func FromHypergraph(h *Hypergraph) *Bipartite { return bipartite.FromHypergraph(h).B }
+
+// EncodeSnapshot serializes a compiled epoch (frozen view +
+// classification) into the binary catalog format of internal/snapshot.
+// Most callers want Service.SaveSnapshot or Registry.SaveSnapshot, which
+// take the parts from an already-compiled scheme.
+func EncodeSnapshot(fb *FrozenBipartite, class Class) []byte {
+	return snapshot.Encode(fb, class)
+}
+
+// DecodeSnapshot parses and validates a persisted epoch. Failures are
+// typed: ErrNotSnapshot, ErrSnapshotVersion, ErrSnapshotChecksum,
+// ErrSnapshotCorrupt.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return snapshot.Decode(data) }
+
+// ReadSnapshotFile loads and decodes a snapshot from disk; see also
+// OpenMappedSnapshot for the zero-copy mmap path.
+func ReadSnapshotFile(path string) (*Snapshot, error) { return snapshot.ReadFile(path) }
+
+// OpenMappedSnapshot memory-maps a catalog file and decodes it in place —
+// the cheapest possible boot for a large scheme. Close the mapping only
+// after every Connector/Service built on it is done.
+func OpenMappedSnapshot(path string) (*MappedSnapshot, error) { return snapshot.OpenMapped(path) }
+
+// OpenSnapshot is Open for a decoded snapshot: a cached, concurrent
+// Service over the persisted epoch, with no Freeze or Classify work.
+// Answers are bit-for-bit identical to a live compile of the same scheme.
+func OpenSnapshot(s *Snapshot, opts ...Option) *Service { return core.OpenSnapshot(s, opts...) }
+
+// ConnectorFromSnapshot revives a cache-less Connector from a decoded
+// snapshot. Use OpenSnapshot unless the cache is unwanted.
+func ConnectorFromSnapshot(s *Snapshot, opts ...Option) *Connector {
+	return core.NewFromSnapshot(s, opts...)
+}
 
 // Algorithm1 solves pseudo-Steiner w.r.t. V2 on V1-chordal, V1-conformal
 // graphs (Theorem 3).

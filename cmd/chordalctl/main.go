@@ -9,12 +9,22 @@
 // -registry one process serves several named schemes at once through a
 // core.Registry. With -serve the registry is exposed over HTTP (the JSON
 // API of internal/httpd: POST /v1/connect, /v1/batch, /v1/interpretations,
-// GET /v1/schemes, /v1/stats) until SIGINT/SIGTERM, with graceful
-// shutdown; a single scheme file is served under the name "default".
+// GET /v1/schemes, /v1/stats, plus the admin trio GET
+// /v1/schemes/{name}/snapshot, PUT and DELETE /v1/schemes/{name}) until
+// SIGINT/SIGTERM, with graceful shutdown; a single scheme file is served
+// under the name "default".
+//
+// Compiled epochs persist: -compile writes the frozen CSR view plus
+// classification as an internal/snapshot binary catalog file, and every
+// file a -registry spec names may be either a textual scheme or such a
+// .snap file (sniffed by magic, not extension) — snapshots boot with zero
+// recompilation. Catalog entries compile/load concurrently on the
+// -workers pool; -v reports per-scheme timing and provenance on stderr.
 //
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
+//	chordalctl -compile out.snap [-hypergraph] [file]
 //	chordalctl -batch queries.txt [-workers n] [-timeout d] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d]
 //	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [file]
@@ -38,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -54,6 +65,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/httpd"
 	"repro/internal/hypergraph"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -80,8 +92,8 @@ func (e *batchError) Error() string {
 
 // run implements the tool; factored out of main for tests.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
-	hyper, jsonOut := false, false
-	batch, registry, serve := "", "", ""
+	hyper, jsonOut, verbose := false, false, false
+	batch, registry, serve, compile := "", "", "", ""
 	workers := 0
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
 	maxTerminals := 0
@@ -93,6 +105,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			hyper = true
 		case "-json", "--json":
 			jsonOut = true
+		case "-v", "--v", "-verbose", "--verbose":
+			verbose = true
+		case "-compile", "--compile":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-compile needs an output file argument")
+			}
+			compile = args[i]
 		case "-serve", "--serve":
 			i++
 			if i >= len(args) {
@@ -179,16 +199,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if serve == "" && maxInFlightSet {
 		return fmt.Errorf("-max-inflight only applies to -serve")
 	}
+	if compile != "" {
+		switch {
+		case serve != "":
+			return fmt.Errorf("-compile is incompatible with -serve (compile first, then serve the .snap)")
+		case batch != "":
+			return fmt.Errorf("-compile is incompatible with -batch")
+		case registry != "":
+			return fmt.Errorf("-compile takes a single scheme; compile registry entries one at a time")
+		case jsonOut:
+			return fmt.Errorf("-compile is incompatible with -json")
+		case maxTerminals > 0:
+			// A snapshot persists the epoch, not serving budgets: accepting
+			// the flag here would silently drop it.
+			return fmt.Errorf("-max-terminals is a load-time budget; pass it to -serve/-registry when loading the snapshot")
+		case workers > 0:
+			return fmt.Errorf("-workers does not apply to -compile")
+		case timeout > 0:
+			return fmt.Errorf("-timeout does not apply to -compile")
+		}
+		return runCompile(compile, files, stdin, stdout, stderr, hyper, verbose)
+	}
 
 	if serve != "" {
 		if workers > 0 {
-			// In serve mode -workers bounds each scheme's /v1/batch pool.
+			// In serve mode -workers bounds each scheme's /v1/batch pool
+			// (and, below, the catalog-load pool).
 			schemeOpts = append(schemeOpts, core.WithWorkers(workers))
 		}
 		var reg *core.Registry
 		if registry != "" {
 			var err error
-			reg, err = loadRegistry(registry, hyper, schemeOpts...)
+			reg, err = loadRegistry(registry, hyper, workers, verboseTo(verbose, stderr), schemeOpts...)
 			if err != nil {
 				return err
 			}
@@ -209,11 +251,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			reg = core.NewRegistry()
 			reg.Set("default", b, schemeOpts...)
 		}
-		return runServe(ctx, serveConfig{addr: serve, maxInFlight: maxInFlight}, reg, stdout)
+		return runServe(ctx, serveConfig{addr: serve, maxInFlight: maxInFlight, schemeOpts: schemeOpts}, reg, stdout)
 	}
 
 	if registry != "" {
-		return runRegistry(ctx, registry, batch, stdin, stdout, stderr, workers, hyper, schemeOpts)
+		return runRegistry(ctx, registry, batch, stdin, stdout, stderr, workers, hyper, verbose, schemeOpts)
 	}
 
 	in := stdin
@@ -297,33 +339,157 @@ func describeScheme(stdout io.Writer, conn *core.Connector) {
 	printWitnesses(stdout, "H2", h2)
 }
 
-// loadRegistry compiles every name=file scheme of the spec into a fresh
-// core.Registry, applying opts to each compile.
-func loadRegistry(spec string, hyper bool, opts ...core.Option) (*core.Registry, error) {
-	reg := core.NewRegistry()
+// verboseTo returns w when verbose is set, nil otherwise — the sink
+// loadRegistry reports per-scheme timing to.
+func verboseTo(verbose bool, w io.Writer) io.Writer {
+	if verbose {
+		return w
+	}
+	return nil
+}
+
+// runCompile compiles one scheme (freeze + classify) and persists the
+// epoch as an internal/snapshot catalog file, so later -registry/-serve
+// runs (or PUT uploads) boot it with zero recompilation. Serving budgets
+// (-max-terminals, -workers) are deliberately not accepted here: they are
+// load-time options, not part of the epoch.
+func runCompile(out string, files []string, stdin io.Reader, stdout, stderr io.Writer, hyper, verbose bool) error {
+	in := stdin
+	if len(files) > 0 {
+		f, err := os.Open(files[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	b, err := readScheme(in, hyper)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	conn := core.New(b)
+	data := snapshot.Encode(conn.Frozen(), conn.Class())
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(stderr, "chordalctl: compiled in %v\n", time.Since(start).Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "chordalctl: compiled %d nodes, %d arcs -> %s (%d bytes, format v%d)\n",
+		b.N(), b.M(), out, len(data), snapshot.Version)
+	return nil
+}
+
+// regSpecEntry is one parsed name=file pair of a -registry spec.
+type regSpecEntry struct {
+	name, file string
+}
+
+// parseRegistrySpec splits and validates a -registry spec. Duplicate names
+// are rejected up front: entries install concurrently, so "later wins"
+// would otherwise become a race.
+func parseRegistrySpec(spec string) ([]regSpecEntry, error) {
+	var entries []regSpecEntry
+	seen := map[string]bool{}
 	for _, pair := range strings.Split(spec, ",") {
 		name, file, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok || name == "" || file == "" {
 			return nil, fmt.Errorf("-registry: bad scheme spec %q (want name=file)", pair)
 		}
-		f, err := os.Open(file)
+		if seen[name] {
+			return nil, fmt.Errorf("-registry: scheme %q named twice", name)
+		}
+		seen[name] = true
+		entries = append(entries, regSpecEntry{name: name, file: file})
+	}
+	return entries, nil
+}
+
+// loadRegistry installs every name=file scheme of the spec into a fresh
+// core.Registry, applying opts to each. Files are sniffed: a snapshot
+// (internal/snapshot magic) loads with zero recompilation, anything else
+// parses as a textual scheme and compiles live. Entries load concurrently
+// on at most workers goroutines (GOMAXPROCS when non-positive) — compiles
+// are CPU-bound and independent, so a large catalog boots in
+// max-scheme-time, not sum. When verbose is non-nil, per-scheme wall time
+// and provenance are reported to it.
+func loadRegistry(spec string, hyper bool, workers int, verbose io.Writer, opts ...core.Option) (*core.Registry, error) {
+	entries, err := parseRegistrySpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+
+	reg := core.NewRegistry()
+	errs := make([]error, len(entries))
+	var vmu sync.Mutex // serializes verbose lines, not the loads
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				e := entries[i]
+				start := time.Now()
+				source, err := loadRegistryEntry(reg, e, hyper, opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if verbose != nil {
+					vmu.Lock()
+					fmt.Fprintf(verbose, "chordalctl: scheme %q: %s from %s in %v\n",
+						e.name, source, e.file, time.Since(start).Round(time.Microsecond))
+					vmu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range entries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		b, err := readScheme(f, hyper)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("scheme %q: %w", name, err)
-		}
-		reg.Set(name, b, opts...)
 	}
 	return reg, nil
 }
 
+// loadRegistryEntry installs one catalog entry and reports its provenance
+// ("compiled" or "snapshot-v<N>").
+func loadRegistryEntry(reg *core.Registry, e regSpecEntry, hyper bool, opts []core.Option) (string, error) {
+	data, err := os.ReadFile(e.file)
+	if err != nil {
+		return "", err
+	}
+	if snapshot.IsSnapshot(data) {
+		if _, err := reg.LoadSnapshot(e.name, data, opts...); err != nil {
+			return "", fmt.Errorf("scheme %q: %w", e.name, err)
+		}
+	} else {
+		b, err := readScheme(bytes.NewReader(data), hyper)
+		if err != nil {
+			return "", fmt.Errorf("scheme %q: %w", e.name, err)
+		}
+		reg.Set(e.name, b, opts...)
+	}
+	return reg.Source(e.name), nil
+}
+
 // runRegistry loads every name=file scheme into a core.Registry and either
 // describes the catalog (no -batch) or serves the query batch against it.
-func runRegistry(ctx context.Context, spec, batch string, stdin io.Reader, stdout, stderr io.Writer, workers int, hyper bool, opts []core.Option) error {
-	reg, err := loadRegistry(spec, hyper, opts...)
+func runRegistry(ctx context.Context, spec, batch string, stdin io.Reader, stdout, stderr io.Writer, workers int, hyper, verbose bool, opts []core.Option) error {
+	reg, err := loadRegistry(spec, hyper, workers, verboseTo(verbose, stderr), opts...)
 	if err != nil {
 		return err
 	}
@@ -423,7 +589,7 @@ func parseQueries(r io.Reader, prefixed bool, resolve func(scheme string) (*core
 			continue
 		}
 		q.svc = svc
-		g := svc.Connector().Graph().G()
+		g := svc.Connector().Frozen().G()
 		q.terms = make([]int, 0, len(labels))
 		for _, l := range labels {
 			id, ok := g.ID(l)
@@ -478,7 +644,7 @@ func answerBatch(ctx context.Context, queries []batchQuery, stdout, stderr io.Wr
 			fmt.Fprintf(stderr, "chordalctl: query %d (line %d) [%s]: %v\n", i+1, q.lineNo, q.display, q.err)
 			continue
 		}
-		g := q.svc.Connector().Graph().G()
+		g := q.svc.Connector().Frozen().G()
 		fmt.Fprintf(stdout, "query %d [%s]: method=%s nodes=%d {%s}\n",
 			i+1, q.display, q.conn.Method, q.conn.Tree.Nodes.Len(),
 			strings.Join(g.Labels(q.conn.Tree.Nodes), " "))

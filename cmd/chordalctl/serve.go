@@ -16,8 +16,9 @@ import (
 
 // serveConfig carries the -serve flags into runServe.
 type serveConfig struct {
-	addr        string // listen address, e.g. ":8080" or "127.0.0.1:0"
-	maxInFlight int    // concurrent-request bound (<=0: unlimited)
+	addr        string        // listen address, e.g. ":8080" or "127.0.0.1:0"
+	maxInFlight int           // concurrent-request bound (<=0: unlimited)
+	schemeOpts  []core.Option // budgets applied to PUT-uploaded schemes too
 }
 
 // runServe exposes the registry over HTTP on cfg.addr until ctx is
@@ -32,7 +33,8 @@ func runServe(ctx context.Context, cfg serveConfig, reg *core.Registry, stdout i
 	if err != nil {
 		return err
 	}
-	h := httpd.New(reg, httpd.WithMaxInFlight(cfg.maxInFlight))
+	h := httpd.New(reg, httpd.WithMaxInFlight(cfg.maxInFlight),
+		httpd.WithSchemeOptions(cfg.schemeOpts...))
 	fmt.Fprintf(stdout, "chordalctl: serving HTTP on %s (schemes: %s)\n",
 		l.Addr(), strings.Join(reg.Names(), " "))
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,8 @@
 package bipartite
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 	"repro/internal/hypergraph"
 )
@@ -34,8 +36,41 @@ func (b *Graph) Freeze() *Frozen {
 	return f
 }
 
+// RestoreFrozen assembles a Frozen from a restored graph and its side
+// assignment — the serialization inverse of Freeze, used by
+// internal/snapshot to revive a compiled epoch. side is adopted, not
+// copied, and must not be modified afterwards. The bipartite invariants are
+// verified: one side per node, every side either Side1 or Side2, every edge
+// crossing sides.
+func RestoreFrozen(g *graph.Frozen, side []graph.Side) (*Frozen, error) {
+	if len(side) != g.N() {
+		return nil, fmt.Errorf("bipartite: restore: %d side entries for %d nodes", len(side), g.N())
+	}
+	f := &Frozen{g: g, side: side}
+	for v, s := range side {
+		switch s {
+		case graph.Side1:
+			f.v1 = append(f.v1, v)
+		case graph.Side2:
+			f.v2 = append(f.v2, v)
+		default:
+			return nil, fmt.Errorf("bipartite: restore: node %d has invalid side %d", v, s)
+		}
+		for _, w := range g.Neighbors(v) {
+			if side[w] == s {
+				return nil, fmt.Errorf("bipartite: restore: edge %d-%d inside one side", v, w)
+			}
+		}
+	}
+	return f, nil
+}
+
 // G returns the underlying frozen graph.
 func (f *Frozen) G() *graph.Frozen { return f.g }
+
+// Sides returns the side of every node, indexed by id. The slice is shared
+// and must not be modified.
+func (f *Frozen) Sides() []graph.Side { return f.side }
 
 // N returns the number of nodes.
 func (f *Frozen) N() int { return f.g.N() }

@@ -51,10 +51,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/chordality"
 	"repro/internal/intset"
+	"repro/internal/snapshot"
 	"repro/internal/steiner"
 )
 
@@ -109,16 +112,24 @@ const DefaultExactLimit = 12
 // built on the frozen CSR view, so concurrent Connect calls need no
 // synchronization; the scheme must not be mutated after New.
 type Connector struct {
-	b     *bipartite.Graph
 	fb    *bipartite.Frozen
 	class chordality.Class
 	cfg   config
+	// snapVersion stamps a connector revived from a persisted epoch with
+	// the snapshot's format version; 0 means compiled live.
+	snapVersion uint16
+
+	// b is the mutable scheme view. New sets it eagerly (the caller's
+	// graph); NewFromSnapshot leaves it nil and thaws it from the frozen
+	// view on first use, so booting from a snapshot does no graph rebuild
+	// unless a code path actually needs the mutable form (ranked-cover
+	// enumeration, label resolution at the HTTP boundary).
+	thawOnce sync.Once
+	b        *bipartite.Graph
 }
 
-// New compiles the scheme once — freeze + classify, both polynomial — and
-// returns a Connector answering queries on the frozen view. Recognized
-// options: WithExactLimit, WithMaxTerminals, WithV1TerminalsOnly.
-func New(b *bipartite.Graph, opts ...Option) *Connector {
+// newConfig folds construction options over the defaults.
+func newConfig(opts []Option) config {
 	cfg := config{exactLimit: DefaultExactLimit}
 	for _, o := range opts {
 		o(&cfg)
@@ -126,8 +137,25 @@ func New(b *bipartite.Graph, opts ...Option) *Connector {
 	if cfg.exactLimit <= 0 {
 		cfg.exactLimit = DefaultExactLimit
 	}
+	return cfg
+}
+
+// New compiles the scheme once — freeze + classify, both polynomial — and
+// returns a Connector answering queries on the frozen view. Recognized
+// options: WithExactLimit, WithMaxTerminals, WithV1TerminalsOnly.
+func New(b *bipartite.Graph, opts ...Option) *Connector {
 	fb := b.Freeze()
-	return &Connector{b: b, fb: fb, class: chordality.ClassifyFrozen(fb), cfg: cfg}
+	return &Connector{b: b, fb: fb, class: chordality.ClassifyFrozen(fb), cfg: newConfig(opts)}
+}
+
+// NewFromSnapshot revives a Connector from a decoded snapshot without any
+// recompilation: the frozen view and the classification come straight from
+// the file, so construction is O(1) regardless of scheme size. Answers are
+// bit-for-bit identical to a Connector compiled live from the same scheme
+// (the round-trip property suite in internal/snapshot holds it to that).
+// The same construction options as New apply.
+func NewFromSnapshot(snap *snapshot.Snapshot, opts ...Option) *Connector {
+	return &Connector{fb: snap.Frozen, class: snap.Class, cfg: newConfig(opts), snapVersion: snap.Version}
 }
 
 // Open compiles the scheme and wraps it for concurrent serving in one
@@ -136,11 +164,38 @@ func Open(b *bipartite.Graph, opts ...Option) *Service {
 	return NewService(New(b, opts...), opts...)
 }
 
+// OpenSnapshot is Open for a decoded snapshot: a cached, concurrent
+// Service over the revived epoch, with zero recompile work.
+func OpenSnapshot(snap *snapshot.Snapshot, opts ...Option) *Service {
+	return NewService(NewFromSnapshot(snap, opts...), opts...)
+}
+
 // Class returns the scheme's chordality classification.
 func (c *Connector) Class() chordality.Class { return c.class }
 
-// Graph returns the underlying bipartite scheme.
-func (c *Connector) Graph() *bipartite.Graph { return c.b }
+// SnapshotVersion returns the format version of the snapshot this
+// connector was loaded from, or 0 when it was compiled live.
+func (c *Connector) SnapshotVersion() uint16 { return c.snapVersion }
+
+// WriteSnapshot serializes the compiled epoch — frozen CSR view plus
+// classification — so a later process can boot it with NewFromSnapshot
+// instead of re-running Freeze+Classify.
+func (c *Connector) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, c.fb, c.class)
+}
+
+// Graph returns the mutable bipartite scheme view. For a live-compiled
+// connector this is the graph passed to New; for a snapshot-loaded one it
+// is thawed from the frozen view on first call (ids, labels and adjacency
+// identical to the originally compiled scheme).
+func (c *Connector) Graph() *bipartite.Graph {
+	c.thawOnce.Do(func() {
+		if c.b == nil {
+			c.b = c.fb.Thaw()
+		}
+	})
+	return c.b
+}
 
 // Frozen returns the compiled scheme view queries are answered on.
 func (c *Connector) Frozen() *bipartite.Frozen { return c.fb }
@@ -231,7 +286,7 @@ func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig
 			// (Corollary 2), Algorithm 1 also applies here: use it to certify
 			// (or refute) V2-minimality of the Theorem 5 tree.
 			if t1, err1 := steiner.Algorithm1Frozen(ctx, c.fb, terminals); err1 == nil {
-				conn.V2Optimal = steiner.V2Count(c.b, tree) == steiner.V2Count(c.b, t1)
+				conn.V2Optimal = steiner.V2CountFrozen(c.fb, tree) == steiner.V2CountFrozen(c.fb, t1)
 			} else if err := ctx.Err(); err != nil {
 				return Connection{}, err
 			}
@@ -305,7 +360,7 @@ func (c *Connector) Interpretations(ctx context.Context, terminals []int, maxAux
 
 func (c *Connector) interpretations(ctx context.Context, terminals []int, maxAux, limit int) ([]Interpretation, error) {
 	p := intset.FromSlice(terminals)
-	covers, err := steiner.RankedCovers(ctx, c.b.G(), terminals, maxAux, limit)
+	covers, err := steiner.RankedCovers(ctx, c.Graph().G(), terminals, maxAux, limit)
 	if err != nil {
 		return nil, err
 	}

@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/snapshot"
 )
 
 // Registry is a named, multi-tenant catalog of compiled schemes: one
@@ -28,10 +30,23 @@ type Registry struct {
 	epochs map[string]uint64
 }
 
-// registryEntry pairs a compiled scheme with its swap epoch.
+// registryEntry pairs a compiled scheme with its swap epoch and how the
+// epoch came to be ("compiled", or "snapshot-v<N>" for a persisted epoch
+// revived by LoadSnapshot).
 type registryEntry struct {
-	svc   *Service
-	epoch uint64
+	svc    *Service
+	epoch  uint64
+	source string
+}
+
+// SourceCompiled is the Source of an epoch installed by Set (a live
+// Freeze+Classify compile).
+const SourceCompiled = "compiled"
+
+// SourceSnapshot is the Source of an epoch revived from a snapshot of the
+// given format version.
+func SourceSnapshot(version uint16) string {
+	return fmt.Sprintf("snapshot-v%d", version)
 }
 
 // NewRegistry returns an empty catalog.
@@ -48,11 +63,74 @@ func NewRegistry() *Registry {
 // of the old epoch are never stalled by an update.
 func (r *Registry) Set(name string, b *bipartite.Graph, opts ...Option) *Service {
 	svc := Open(b, opts...)
+	r.Swap(name, svc, SourceCompiled)
+	return svc
+}
+
+// Swap installs an already-built Service under name — the one place the
+// catalog pointer changes, shared by Set, LoadSnapshot and callers (the
+// HTTP admin surface) that build the Service themselves. It returns the
+// epoch the install landed at, read atomically with the swap, so the
+// caller can attribute its own install even when concurrent updates race
+// on the same name (a Get-then-Epoch readback could straddle a later
+// swap). source should be SourceCompiled or SourceSnapshot(version).
+func (r *Registry) Swap(name string, svc *Service, source string) uint64 {
 	r.mu.Lock()
 	r.epochs[name]++
-	r.entries[name] = &registryEntry{svc: svc, epoch: r.epochs[name]}
+	epoch := r.epochs[name]
+	r.entries[name] = &registryEntry{svc: svc, epoch: epoch, source: source}
 	r.mu.Unlock()
-	return svc
+	return epoch
+}
+
+// LoadSnapshot decodes a persisted compiled epoch and installs it under
+// name with the same atomic swap semantics as Set — in-flight queries
+// finish on the old epoch, later lookups see the revived one — but with
+// zero recompilation: the expensive Freeze+Classify already happened in
+// whatever process wrote the snapshot. The installed entry is stamped with
+// the snapshot's format version (see Source). Decode failures are typed
+// (snapshot.ErrNotSnapshot, ErrUnsupportedVersion, ErrChecksum,
+// ErrCorrupt) and leave the catalog unchanged.
+func (r *Registry) LoadSnapshot(name string, data []byte, opts ...Option) (*Service, error) {
+	snap, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	svc := OpenSnapshot(snap, opts...)
+	r.Swap(name, svc, SourceSnapshot(snap.Version))
+	return svc, nil
+}
+
+// SaveSnapshot serializes the named scheme's current epoch to w, so a
+// later process (or another Registry, via LoadSnapshot) can boot it
+// without recompiling. Unknown names return ErrUnknownScheme.
+func (r *Registry) SaveSnapshot(name string, w io.Writer) error {
+	svc, ok := r.Get(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownScheme, name)
+	}
+	return svc.SaveSnapshot(w)
+}
+
+// Source reports how the named scheme's current epoch was produced:
+// SourceCompiled for a live compile, "snapshot-v<N>" for an epoch revived
+// from a format-version-N snapshot, "" when the name is not registered.
+func (r *Registry) Source(name string) string {
+	_, _, source, _ := r.Entry(name)
+	return source
+}
+
+// Entry returns the current Service, epoch and source for name in one
+// atomic read — use it when the three must describe the same install (a
+// Lookup-then-Source pair can straddle a concurrent swap).
+func (r *Registry) Entry(name string) (svc *Service, epoch uint64, source string, ok bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, "", false
+	}
+	return e.svc, e.epoch, e.source, true
 }
 
 // Get returns the current Service for name. The returned Service remains

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,12 @@ func NewService(c *Connector, opts ...Option) *Service {
 
 // Connector returns the wrapped Connector.
 func (s *Service) Connector() *Connector { return s.c }
+
+// SaveSnapshot serializes the service's compiled epoch (frozen CSR view +
+// classification) to w — see Connector.WriteSnapshot. The answer cache is
+// deliberately not persisted: it is a property of this process's traffic,
+// not of the epoch.
+func (s *Service) SaveSnapshot(w io.Writer) error { return s.c.WriteSnapshot(w) }
 
 // Connect answers one minimal-connection query through the cache. The
 // cache key combines the canonical terminal set with the answer-changing

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
 
 // Frozen is an immutable compressed-sparse-row (CSR) view of a Graph,
 // compiled once with Freeze. The adjacency of node v is the slice
@@ -56,6 +60,126 @@ func (g *Graph) Freeze() *Frozen {
 		}
 	}
 	return f
+}
+
+// CSR returns the compiled adjacency arrays: offsets has N()+1 entries and
+// the sorted adjacency of node v is neighbors[offsets[v]:offsets[v+1]].
+// Both slices are the Frozen's own storage and must not be modified — this
+// accessor exists so serializers (internal/snapshot) can write the compiled
+// form without an intermediate copy.
+func (f *Frozen) CSR() (offsets, neighbors []int32) { return f.offsets, f.neighbors }
+
+// Matrix returns the dense adjacency bitset (row-major, stride uint64 words
+// per row) or (nil, 0) when it was not compiled. The slice is shared and
+// must not be modified.
+func (f *Frozen) Matrix() (words []uint64, stride int) { return f.matrix, f.stride }
+
+// NodeLabels returns the label of every node, indexed by id. The slice is
+// shared and must not be modified.
+func (f *Frozen) NodeLabels() []string { return f.labels }
+
+// RestoreFrozen assembles a Frozen directly from previously compiled parts
+// — the inverse of taking CSR/Matrix/NodeLabels apart, used to revive a
+// serialized epoch without re-running Freeze. The slices are adopted, not
+// copied (they may alias a read-only mapped file); callers must not modify
+// them afterwards. matrix may be nil (HasEdge then binary-searches the CSR
+// slice, answers unchanged); when present, stride and the matrix length
+// must match n.
+//
+// The structural invariants every Freeze output satisfies are verified —
+// monotone offsets, strictly ascending in-range adjacency rows, no self
+// loops, symmetric edges, a matrix that agrees with the CSR bit for bit,
+// distinct labels — so a Frozen restored from hostile or corrupted bytes
+// either equals a genuine compile or fails here, it never panics or
+// answers wrongly later inside a solver.
+func RestoreFrozen(labels []string, offsets, neighbors []int32, matrix []uint64, stride int) (*Frozen, error) {
+	n := len(labels)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: restore: %d offsets for %d nodes (want %d)", len(offsets), n, n+1)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: restore: offsets[0] = %d, want 0", offsets[0])
+	}
+	if int(offsets[n]) != len(neighbors) {
+		return nil, fmt.Errorf("graph: restore: offsets end at %d but %d neighbors are present", offsets[n], len(neighbors))
+	}
+	if len(neighbors)%2 != 0 {
+		return nil, fmt.Errorf("graph: restore: odd neighbor count %d (edges are stored twice)", len(neighbors))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graph: restore: offsets decrease at node %d", v)
+		}
+		row := neighbors[offsets[v]:offsets[v+1]]
+		for i, w := range row {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: restore: node %d has neighbor %d out of range [0, %d)", v, w, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: restore: self loop at node %d", v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return nil, fmt.Errorf("graph: restore: adjacency of node %d is not strictly ascending", v)
+			}
+		}
+	}
+	// Symmetry: every stored arc must have its mirror, or traversals and
+	// HasEdge would disagree about the same edge.
+	for v := 0; v < n; v++ {
+		for _, w := range neighbors[offsets[v]:offsets[v+1]] {
+			row := neighbors[offsets[w]:offsets[w+1]]
+			j := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+			if j >= len(row) || row[j] != int32(v) {
+				return nil, fmt.Errorf("graph: restore: edge %d-%d has no mirror entry", v, w)
+			}
+		}
+	}
+	if matrix != nil {
+		wantStride := (n + 63) / 64
+		if stride != wantStride || len(matrix) != n*stride {
+			return nil, fmt.Errorf("graph: restore: matrix is %d words with stride %d for %d nodes (want %d×%d)",
+				len(matrix), stride, n, n, wantStride)
+		}
+		// Content must agree with the CSR bit for bit: HasEdge answers from
+		// the matrix while traversals answer from the adjacency lists, so a
+		// lying bitset would make the two halves of the same Frozen
+		// disagree. Every neighbor bit must be set and each row's popcount
+		// must equal the degree — together that pins the row exactly (no
+		// extra bits, none missing, padding clear).
+		for v := 0; v < n; v++ {
+			row := matrix[v*stride : (v+1)*stride]
+			ones := 0
+			for _, w := range row {
+				ones += bits.OnesCount64(w)
+			}
+			if ones != int(offsets[v+1]-offsets[v]) {
+				return nil, fmt.Errorf("graph: restore: matrix row %d has %d bits for degree %d", v, ones, offsets[v+1]-offsets[v])
+			}
+			for _, w := range neighbors[offsets[v]:offsets[v+1]] {
+				if row[w>>6]&(1<<(uint(w)&63)) == 0 {
+					return nil, fmt.Errorf("graph: restore: matrix disagrees with CSR on edge %d-%d", v, w)
+				}
+			}
+		}
+	} else {
+		stride = 0
+	}
+	index := make(map[string]int, n)
+	for v, l := range labels {
+		if _, dup := index[l]; dup {
+			return nil, fmt.Errorf("graph: restore: duplicate node label %q", l)
+		}
+		index[l] = v
+	}
+	return &Frozen{
+		labels:    labels,
+		index:     index,
+		offsets:   offsets,
+		neighbors: neighbors,
+		m:         len(neighbors) / 2,
+		matrix:    matrix,
+		stride:    stride,
+	}, nil
 }
 
 // Thaw reconstructs a mutable Graph equal to the frozen snapshot.

@@ -8,11 +8,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/connect          one minimal-connection query
-//	POST /v1/batch            many queries against one scheme, in order
-//	POST /v1/interpretations  ranked alternative readings of a query
-//	GET  /v1/schemes          the registered schemes and their classes
-//	GET  /v1/stats            per-scheme answer-cache counters
+//	POST   /v1/connect                  one minimal-connection query
+//	POST   /v1/batch                    many queries against one scheme, in order
+//	POST   /v1/interpretations          ranked alternative readings of a query
+//	GET    /v1/schemes                  the registered schemes and their classes
+//	GET    /v1/stats                    per-scheme answer-cache counters
+//	GET    /v1/schemes/{name}/snapshot  download the compiled epoch (binary)
+//	PUT    /v1/schemes/{name}           upload-and-swap a scheme (snapshot or text)
+//	DELETE /v1/schemes/{name}           drop a scheme from the catalog
+//
+// The last three are the live admin trio: a Registry can be populated,
+// snapshotted and pruned over the wire without restarting the process.
+// Uploads are atomic compile-and-swap (Registry semantics): in-flight
+// queries finish on the old epoch. A snapshot body (sniffed by its
+// "CHRDSNAP" magic) installs with zero recompilation; any other body is
+// parsed as the graphio bipartite text format and compiled live.
 //
 // Because every answer is produced by the same Service/Connector stack the
 // in-process API uses, a wire answer is bit-for-bit the in-process answer;
@@ -20,33 +30,43 @@
 package httpd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graphio"
+	"repro/internal/snapshot"
 )
 
 // Defaults for the handler knobs; override with the With… options.
 const (
-	DefaultMaxInFlight  = 256
-	DefaultMaxBodyBytes = 1 << 20 // 1 MiB
-	DefaultMaxTimeout   = 30 * time.Second
-	DefaultInterpLimit  = 5
+	DefaultMaxInFlight      = 256
+	DefaultMaxBodyBytes     = 1 << 20 // 1 MiB
+	DefaultMaxSnapshotBytes = 64 << 20
+	DefaultMaxTimeout       = 30 * time.Second
+	DefaultInterpLimit      = 5
 )
 
 // Handler serves the v1 HTTP API over a Registry. It is an http.Handler;
 // all methods are safe for concurrent use (the Registry may be updated —
-// Set/Drop — while the handler is serving).
+// Set/Drop or the PUT/DELETE admin endpoints — while the handler is
+// serving).
 type Handler struct {
-	reg        *core.Registry
-	mux        *http.ServeMux
-	sem        chan struct{} // nil: unlimited
-	maxBody    int64
-	maxTimeout time.Duration
+	reg         *core.Registry
+	mux         *http.ServeMux
+	sem         chan struct{} // nil: unlimited
+	maxBody     int64
+	maxSnapshot int64
+	maxTimeout  time.Duration
+	schemeOpts  []core.Option
 }
 
 // HandlerOption configures New.
@@ -70,6 +90,21 @@ func WithMaxBodyBytes(n int64) HandlerOption {
 	return func(h *Handler) { h.maxBody = n }
 }
 
+// WithMaxSnapshotBytes bounds PUT /v1/schemes/{name} upload size — scheme
+// uploads are binary catalogs, legitimately much larger than query bodies,
+// so they get their own cap (413 beyond it).
+func WithMaxSnapshotBytes(n int64) HandlerOption {
+	return func(h *Handler) { h.maxSnapshot = n }
+}
+
+// WithSchemeOptions sets the construction options (WithMaxTerminals,
+// WithWorkers, …) applied to every scheme installed through the PUT admin
+// endpoint, so uploaded schemes get the same budgets as the ones the
+// server booted with.
+func WithSchemeOptions(opts ...core.Option) HandlerOption {
+	return func(h *Handler) { h.schemeOpts = opts }
+}
+
 // WithMaxTimeout caps the per-request deadline. Requests without a
 // timeout_ms get exactly this deadline; larger timeout_ms values are
 // clamped to it. Non-positive disables the cap (requests then run on the
@@ -81,10 +116,11 @@ func WithMaxTimeout(d time.Duration) HandlerOption {
 // New returns a Handler serving reg.
 func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 	h := &Handler{
-		reg:        reg,
-		maxBody:    DefaultMaxBodyBytes,
-		maxTimeout: DefaultMaxTimeout,
-		sem:        make(chan struct{}, DefaultMaxInFlight),
+		reg:         reg,
+		maxBody:     DefaultMaxBodyBytes,
+		maxSnapshot: DefaultMaxSnapshotBytes,
+		maxTimeout:  DefaultMaxTimeout,
+		sem:         make(chan struct{}, DefaultMaxInFlight),
 	}
 	for _, o := range opts {
 		o(h)
@@ -95,6 +131,9 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 	mux.HandleFunc("POST /v1/interpretations", h.handleInterpretations)
 	mux.HandleFunc("GET /v1/schemes", h.handleSchemes)
 	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	mux.HandleFunc("GET /v1/schemes/{name}/snapshot", h.handleSnapshotDownload)
+	mux.HandleFunc("PUT /v1/schemes/{name}", h.handleSchemeUpload)
+	mux.HandleFunc("DELETE /v1/schemes/{name}", h.handleSchemeDelete)
 	h.mux = mux
 	return h
 }
@@ -103,9 +142,11 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 // before routing so an overloaded server does even less work per rejected
 // request. Read-only GETs (/v1/schemes, /v1/stats) are exempt: they do no
 // solver work, and monitoring must keep answering precisely when the
-// limiter is rejecting query traffic.
+// limiter is rejecting query traffic. Snapshot downloads are the
+// exception among GETs — each one buffers a full encoded epoch, so they
+// take a limiter slot like any other expensive request.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h.sem != nil && r.Method != http.MethodGet {
+	if h.sem != nil && (r.Method != http.MethodGet || strings.HasSuffix(r.URL.Path, "/snapshot")) {
 		select {
 		case h.sem <- struct{}{}:
 			defer func() { <-h.sem }()
@@ -154,7 +195,9 @@ func resolveTerminals(svc *core.Service, terminals []int, labels []string) ([]in
 			Message: "set either terminals or labels, not both",
 		}
 	}
-	g := svc.Connector().Graph().G()
+	// Resolve against the frozen view: it carries the same label index and
+	// never forces a snapshot-loaded scheme to thaw its mutable graph.
+	g := svc.Connector().Frozen().G()
 	out := make([]int, len(labels))
 	for i, l := range labels {
 		id, ok := g.ID(l)
@@ -370,12 +413,14 @@ func (h *Handler) handleInterpretations(w http.ResponseWriter, r *http.Request) 
 func (h *Handler) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	resp := SchemesResponse{Schemes: []SchemeInfo{}}
 	for _, name := range h.reg.Names() {
-		svc, epoch, ok := h.reg.Lookup(name)
-		if !ok { // dropped between Names and Lookup
+		// Entry reads service, epoch and source atomically, so a listing
+		// taken during a swap never pairs one epoch with another's source.
+		svc, epoch, source, ok := h.reg.Entry(name)
+		if !ok { // dropped between Names and Entry
 			continue
 		}
 		c := svc.Connector()
-		b := c.Graph()
+		fb := c.Frozen()
 		cl := c.Class()
 		guarantee := "none"
 		switch {
@@ -384,12 +429,18 @@ func (h *Handler) handleSchemes(w http.ResponseWriter, r *http.Request) {
 		case cl.AlphaV1():
 			guarantee = "v2-minimal (Theorem 3)"
 		}
+		// Only a non-default provenance travels the wire: live compiles
+		// stay implicit so the field flags snapshot-booted epochs.
+		if source == core.SourceCompiled {
+			source = ""
+		}
 		resp.Schemes = append(resp.Schemes, SchemeInfo{
 			Name:    name,
 			Epoch:   epoch,
-			V1Nodes: len(b.V1()),
-			V2Nodes: len(b.V2()),
-			Arcs:    b.M(),
+			Source:  source,
+			V1Nodes: len(fb.V1()),
+			V2Nodes: len(fb.V2()),
+			Arcs:    fb.M(),
 			Class: ClassBody{
 				Chordal41:   cl.Chordal41,
 				Chordal62:   cl.Chordal62,
@@ -425,10 +476,100 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSnapshotDownload streams the named scheme's compiled epoch in the
+// internal/snapshot binary format: what a client PUTs back (here or to
+// another server) boots with zero recompilation. The epoch header
+// attributes the bytes to the compile that produced them.
+func (h *Handler) handleSnapshotDownload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	svc, epoch, ok := h.reg.Lookup(name)
+	if !ok {
+		writeQueryError(w, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name))
+		return
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Scheme-Epoch", strconv.FormatUint(epoch, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSchemeUpload installs (or replaces) a scheme from the request
+// body: a snapshot (sniffed by magic) revives with zero rework, anything
+// else is parsed as the graphio bipartite text format and compiled live.
+// Either way the swap is atomic — in-flight queries on the old epoch
+// finish cleanly.
+func (h *Handler) handleSchemeUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.maxSnapshot))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("scheme upload exceeds %d bytes", h.maxSnapshot))
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"empty body (want a snapshot or a bipartite scheme in text form)")
+		return
+	}
+	// Build the Service first, install with Registry.Swap second: the swap
+	// returns this install's own epoch, so concurrent admin calls racing on
+	// the same name can never misattribute the response (a readback via
+	// Epoch/Source could observe a later install).
+	var svc *core.Service
+	var source string
+	if snapshot.IsSnapshot(data) {
+		snap, err := snapshot.Decode(data)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot, err.Error())
+			return
+		}
+		svc = core.OpenSnapshot(snap, h.schemeOpts...)
+		source = core.SourceSnapshot(snap.Version)
+	} else {
+		b, err := graphio.ReadBipartite(bytes.NewReader(data))
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, CodeBadScheme, err.Error())
+			return
+		}
+		svc = core.Open(b, h.schemeOpts...)
+		source = core.SourceCompiled
+	}
+	epoch := h.reg.Swap(name, svc, source)
+	writeJSON(w, http.StatusOK, UploadResponse{
+		Scheme: name,
+		Epoch:  epoch,
+		Source: source,
+	})
+}
+
+// handleSchemeDelete drops the named scheme: 404 when unknown, otherwise
+// the catalog entry is gone for new lookups while queries already holding
+// the old epoch finish cleanly (copy-on-write Registry semantics).
+func (h *Handler) handleSchemeDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !h.reg.Drop(name) {
+		writeQueryError(w, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Scheme: name, Dropped: true})
+}
+
 // answerOf renders a solved Connection for the wire. Slices are always
-// non-nil so clients (and golden files) see [] rather than null.
+// non-nil so clients (and golden files) see [] rather than null. Labels
+// come off the frozen view, keeping the render path thaw-free.
 func answerOf(svc *core.Service, conn core.Connection) Answer {
-	g := svc.Connector().Graph().G()
+	g := svc.Connector().Frozen().G()
 	edges := make([][2]int, len(conn.Tree.Edges))
 	for i, e := range conn.Tree.Edges {
 		edges[i] = [2]int{e.U, e.V}
@@ -451,7 +592,7 @@ func interpBodies(svc *core.Service, interps []core.Interpretation) []Interpreta
 	if interps == nil {
 		return nil
 	}
-	g := svc.Connector().Graph().G()
+	g := svc.Connector().Frozen().G()
 	out := make([]InterpretationBody, len(interps))
 	for i, ip := range interps {
 		out[i] = InterpretationBody{

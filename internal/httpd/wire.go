@@ -122,15 +122,33 @@ type InterpretationsResponse struct {
 	Interpretations []InterpretationBody `json:"interpretations"`
 }
 
-// SchemeInfo describes one registry entry in GET /v1/schemes.
+// SchemeInfo describes one registry entry in GET /v1/schemes. Source is
+// present only for epochs revived from a persisted snapshot
+// ("snapshot-v<N>", the format version); live compiles omit it.
 type SchemeInfo struct {
 	Name      string    `json:"name"`
 	Epoch     uint64    `json:"epoch"`
+	Source    string    `json:"source,omitempty"`
 	V1Nodes   int       `json:"v1_nodes"`
 	V2Nodes   int       `json:"v2_nodes"`
 	Arcs      int       `json:"arcs"`
 	Class     ClassBody `json:"class"`
 	Guarantee string    `json:"guarantee"`
+}
+
+// UploadResponse answers PUT /v1/schemes/{name}: the installed epoch and
+// how it was produced ("compiled" for a text-scheme body, "snapshot-v<N>"
+// for a binary snapshot).
+type UploadResponse struct {
+	Scheme string `json:"scheme"`
+	Epoch  uint64 `json:"epoch"`
+	Source string `json:"source"`
+}
+
+// DeleteResponse answers DELETE /v1/schemes/{name}.
+type DeleteResponse struct {
+	Scheme  string `json:"scheme"`
+	Dropped bool   `json:"dropped"`
 }
 
 // ClassBody is the chordality classification on the wire.
@@ -177,6 +195,8 @@ const (
 	CodeBadRequest    = "bad_request"    // 400: malformed body or fields
 	CodeUnknownScheme = "unknown_scheme" // 404: scheme not registered
 	CodeBodyTooLarge  = "body_too_large" // 413: body over the server limit
+	CodeBadSnapshot   = "bad_snapshot"   // 422: upload is not a decodable snapshot
+	CodeBadScheme     = "bad_scheme"     // 422: upload is not a parsable text scheme
 	CodeEmptyQuery    = "empty_query"    // 422
 	CodeInvalidTerm   = "invalid_terminal"
 	CodeUnknownLabel  = "unknown_label"

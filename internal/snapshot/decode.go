@@ -1,0 +1,225 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+	"repro/internal/graph"
+)
+
+// Snapshot is a decoded compiled-scheme epoch, ready to serve queries with
+// zero recompilation: hand it to core.NewFromSnapshot / core.OpenSnapshot /
+// Registry.LoadSnapshot.
+type Snapshot struct {
+	// Frozen is the revived compiled view — structurally identical to what
+	// bipartite.Freeze produced before Encode.
+	Frozen *bipartite.Frozen
+	// Class is the chordality classification stored with the epoch; no
+	// recognizer runs at decode time.
+	Class chordality.Class
+	// Version is the format version of the decoded file.
+	Version uint16
+	// ZeroCopy reports whether ANY hot array (CSR offsets/neighbors,
+	// bitset matrix) aliases the decoded byte slice — sections adopt the
+	// buffer independently, so a partially aligned buffer can mix adopted
+	// and copied sections. When true, the caller must keep that memory
+	// alive and unmodified for the Snapshot's lifetime — the contract
+	// under which an mmap-ed catalog file serves queries directly from
+	// the page cache. Only when false may the buffer be reused or freed.
+	ZeroCopy bool
+}
+
+// Decode parses and validates a version-1 snapshot. On little-endian hosts
+// with an aligned buffer the hot sections are adopted in place (see
+// Snapshot.ZeroCopy); otherwise they are copied out, so Decode works — just
+// without the zero-copy win — on any host. Errors are typed: ErrNotSnapshot,
+// ErrUnsupportedVersion, ErrChecksum, or ErrCorrupt.
+func Decode(data []byte) (*Snapshot, error) {
+	if !IsSnapshot(data) {
+		return nil, fmt.Errorf("%w (no %q magic)", ErrNotSnapshot, magic)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	version := le.Uint16(data[8:10])
+	if version != Version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrUnsupportedVersion, version, Version)
+	}
+	count := int(le.Uint32(data[12:16]))
+	size := le.Uint64(data[16:24])
+	if size != uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header declares %d bytes, %d are present (truncated or padded file)",
+			ErrCorrupt, size, len(data))
+	}
+	if want, got := le.Uint32(data[24:28]), checksum(data); want != got {
+		return nil, fmt.Errorf("%w: stored %#08x, computed %#08x", ErrChecksum, want, got)
+	}
+	// Bound the table in uint64: on 32-bit builds count*sectionEntrySize
+	// could wrap int and sneak a hostile table past the check.
+	if uint64(count) > (uint64(len(data))-headerSize)/sectionEntrySize {
+		return nil, fmt.Errorf("%w: section table of %d entries exceeds the file", ErrCorrupt, count)
+	}
+
+	sections := make(map[uint32][]byte, count)
+	for i := 0; i < count; i++ {
+		e := data[headerSize+i*sectionEntrySize:]
+		id := le.Uint32(e[0:4])
+		off := le.Uint64(e[8:16])
+		length := le.Uint64(e[16:24])
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %d spans [%d, %d+%d) outside the file", ErrCorrupt, id, off, off, length)
+		}
+		if _, dup := sections[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, id)
+		}
+		sections[id] = data[off : off+length]
+	}
+	need := func(id uint32, name string) ([]byte, error) {
+		s, ok := sections[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %s section (id %d)", ErrCorrupt, name, id)
+		}
+		return s, nil
+	}
+
+	meta, err := need(secMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != metaSize {
+		return nil, fmt.Errorf("%w: meta section is %d bytes, want %d", ErrCorrupt, len(meta), metaSize)
+	}
+	n := int(le.Uint32(meta[0:]))
+	flags := le.Uint32(meta[4:])
+	stride := int(le.Uint32(meta[8:]))
+	m := le.Uint64(meta[16:])
+	if uint64(n) > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: node count %d is impossible for a %d-byte file", ErrCorrupt, n, len(data))
+	}
+	if m > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: edge count %d is impossible for a %d-byte file", ErrCorrupt, m, len(data))
+	}
+
+	offSec, err := need(secOffsets, "offsets")
+	if err != nil {
+		return nil, err
+	}
+	if len(offSec) != 4*(n+1) {
+		return nil, fmt.Errorf("%w: offsets section is %d bytes for %d nodes (want %d)", ErrCorrupt, len(offSec), n, 4*(n+1))
+	}
+	nbrSec, err := need(secNeighbors, "neighbors")
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(nbrSec)) != 8*m {
+		return nil, fmt.Errorf("%w: neighbors section is %d bytes for %d edges (want %d)", ErrCorrupt, len(nbrSec), m, 8*m)
+	}
+
+	// Each hot section adopts the buffer independently; aliased tracks
+	// whether ANY of them did (that is what the ZeroCopy keep-alive
+	// contract must reflect — a partially aligned buffer may alias the
+	// CSR while copying the matrix, or vice versa).
+	aliased := false
+	adopt32 := func(sec []byte) []int32 {
+		if v, ok := int32View(sec); ok {
+			if len(sec) > 0 {
+				aliased = true
+			}
+			return v
+		}
+		return int32Copy(sec)
+	}
+	offsets := adopt32(offSec)
+	neighbors := adopt32(nbrSec)
+
+	var matrix []uint64
+	if flags&metaFlagMatrix != 0 {
+		matSec, err := need(secMatrix, "matrix")
+		if err != nil {
+			return nil, err
+		}
+		if stride <= 0 || uint64(len(matSec)) != 8*uint64(n)*uint64(stride) {
+			return nil, fmt.Errorf("%w: matrix section is %d bytes for %d nodes × stride %d", ErrCorrupt, len(matSec), n, stride)
+		}
+		if v, ok := uint64View(matSec); ok {
+			if len(matSec) > 0 {
+				aliased = true
+			}
+			matrix = v
+		} else {
+			matrix = uint64Copy(matSec)
+		}
+	} else {
+		stride = 0
+	}
+
+	sideSec, err := need(secSides, "sides")
+	if err != nil {
+		return nil, err
+	}
+	if len(sideSec) != n {
+		return nil, fmt.Errorf("%w: sides section is %d bytes for %d nodes", ErrCorrupt, len(sideSec), n)
+	}
+	sides := make([]graph.Side, n)
+	for i, b := range sideSec {
+		sides[i] = graph.Side(b)
+	}
+
+	labels, err := decodeLabels(sections, n)
+	if err != nil {
+		return nil, err
+	}
+
+	classSec, err := need(secClass, "class")
+	if err != nil {
+		return nil, err
+	}
+	if len(classSec) != 1 {
+		return nil, fmt.Errorf("%w: class section is %d bytes, want 1", ErrCorrupt, len(classSec))
+	}
+	var class chordality.Class
+	for i, v := range classBits(&class) {
+		*v = classSec[0]&(1<<i) != 0
+	}
+
+	g, err := graph.RestoreFrozen(labels, offsets, neighbors, matrix, stride)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	fb, err := bipartite.RestoreFrozen(g, sides)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &Snapshot{Frozen: fb, Class: class, Version: version, ZeroCopy: aliased}, nil
+}
+
+// decodeLabels parses the string table, copying every label out of the
+// buffer (Go strings own their bytes, so labels never pin the file).
+func decodeLabels(sections map[uint32][]byte, n int) ([]string, error) {
+	sec, ok := sections[secLabels]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing labels section (id %d)", ErrCorrupt, secLabels)
+	}
+	if len(sec) < 4 || int(le.Uint32(sec)) != n {
+		return nil, fmt.Errorf("%w: labels section does not hold %d labels", ErrCorrupt, n)
+	}
+	if len(sec) < 4+4*n {
+		return nil, fmt.Errorf("%w: labels section too short for %d lengths", ErrCorrupt, n)
+	}
+	labels := make([]string, n)
+	blob := sec[4+4*n:]
+	pos := 0
+	for i := 0; i < n; i++ {
+		l := int(le.Uint32(sec[4+4*i:]))
+		if l < 0 || l > len(blob)-pos {
+			return nil, fmt.Errorf("%w: label %d overruns the string blob", ErrCorrupt, i)
+		}
+		labels[i] = string(blob[pos : pos+l])
+		pos += l
+	}
+	if pos != len(blob) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last label", ErrCorrupt, len(blob)-pos)
+	}
+	return labels, nil
+}

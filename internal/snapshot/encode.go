@@ -1,0 +1,159 @@
+package snapshot
+
+import (
+	"io"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+	"repro/internal/graph"
+)
+
+// Encode serializes a compiled scheme epoch — the frozen view plus its
+// classification — into the version-1 catalog format. The output is
+// deterministic: encoding the same epoch always yields the same bytes
+// (asserted by the golden-fixture test), so snapshots diff and cache well.
+func Encode(fb *bipartite.Frozen, class chordality.Class) []byte {
+	g := fb.G()
+	offsets, neighbors := g.CSR()
+	matrix, stride := g.Matrix()
+	labels := g.NodeLabels()
+	sides := fb.Sides()
+	n := g.N()
+
+	meta := make([]byte, metaSize)
+	le.PutUint32(meta[0:], uint32(n))
+	flags := uint32(0)
+	if matrix != nil {
+		flags |= metaFlagMatrix
+	}
+	le.PutUint32(meta[4:], flags)
+	le.PutUint32(meta[8:], uint32(stride))
+	le.PutUint64(meta[16:], uint64(g.M()))
+
+	sections := []struct {
+		id   uint32
+		data []byte
+	}{
+		{secMeta, meta},
+		{secOffsets, int32Bytes(offsets)},
+		{secNeighbors, int32Bytes(neighbors)},
+		{secSides, sideBytes(sides)},
+		{secLabels, labelBytes(labels)},
+		{secClass, []byte{classByte(class)}},
+	}
+	if matrix != nil {
+		sections = append(sections, struct {
+			id   uint32
+			data []byte
+		}{secMatrix, uint64Bytes(matrix)})
+	}
+
+	// Lay out: header, table, then each payload on an 8-byte boundary.
+	offset := align8(headerSize + len(sections)*sectionEntrySize)
+	starts := make([]int, len(sections))
+	for i, s := range sections {
+		starts[i] = offset
+		offset = align8(offset + len(s.data))
+	}
+	total := offset
+
+	out := make([]byte, total)
+	copy(out, magic)
+	le.PutUint16(out[8:], Version)
+	le.PutUint32(out[12:], uint32(len(sections)))
+	le.PutUint64(out[16:], uint64(total))
+	for i, s := range sections {
+		e := out[headerSize+i*sectionEntrySize:]
+		le.PutUint32(e[0:], s.id)
+		le.PutUint64(e[8:], uint64(starts[i]))
+		le.PutUint64(e[16:], uint64(len(s.data)))
+		copy(out[starts[i]:], s.data)
+	}
+	le.PutUint32(out[24:], checksum(out))
+	return out
+}
+
+// Write serializes the epoch to w (Encode, then one Write call).
+func Write(w io.Writer, fb *bipartite.Frozen, class chordality.Class) error {
+	_, err := w.Write(Encode(fb, class))
+	return err
+}
+
+// int32Bytes renders s little-endian. On little-endian hosts this is a
+// reinterpretation of the backing array (the caller only reads the result
+// while copying it into the output buffer).
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return bytesOfInt32s(s)
+	}
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		le.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// uint64Bytes renders s little-endian, in place on little-endian hosts.
+func uint64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return bytesOfUint64s(s)
+	}
+	out := make([]byte, 8*len(s))
+	for i, v := range s {
+		le.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// sideBytes renders one byte per node (graph.Side is an int8).
+func sideBytes(sides []graph.Side) []byte {
+	out := make([]byte, len(sides))
+	for i, s := range sides {
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// labelBytes renders the string table: count, lengths, concatenated bytes.
+func labelBytes(labels []string) []byte {
+	size := 4 + 4*len(labels)
+	for _, l := range labels {
+		size += len(l)
+	}
+	out := make([]byte, 0, size)
+	out = le.AppendUint32(out, uint32(len(labels)))
+	for _, l := range labels {
+		out = le.AppendUint32(out, uint32(len(l)))
+	}
+	for _, l := range labels {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// classByte packs the 7 chordality verdicts, bit 0 = Chordal41 … bit 6 =
+// V2Conformal (chordality.Class field order).
+func classByte(c chordality.Class) byte {
+	var b byte
+	for i, v := range classBits(&c) {
+		if *v {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+// classBits enumerates the Class fields in their serialized bit order —
+// shared by encode and decode so the two can never disagree.
+func classBits(c *chordality.Class) []*bool {
+	return []*bool{
+		&c.Chordal41, &c.Chordal62, &c.Chordal61,
+		&c.V1Chordal, &c.V1Conformal, &c.V2Chordal, &c.V2Conformal,
+	}
+}

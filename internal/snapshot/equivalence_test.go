@@ -1,0 +1,203 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/snapshot"
+)
+
+// randomScheme rotates through the same scheme families as the PR 3 wire
+// harness (httpd/equivalence_test.go), so every dispatch arm — Algorithm 2,
+// Algorithm 1, exact, heuristic — and the disconnected case come up.
+func randomScheme(r *rand.Rand, i int) *bipartite.Graph {
+	switch i % 4 {
+	case 0:
+		return gen.RandomConnectedBipartite(r, 3+r.Intn(5), 2+r.Intn(4), 0.2+0.4*r.Float64())
+	case 1:
+		return bipartite.FromHypergraph(gen.AlphaAcyclic(r, 3+r.Intn(4), 2, 2)).B
+	case 2:
+		return gen.RandomTree(r, 4+r.Intn(9))
+	default:
+		return gen.CompleteBipartite(2+r.Intn(3), 2+r.Intn(3))
+	}
+}
+
+// randomTerminals picks 1–4 distinct node ids (either side).
+func randomTerminals(r *rand.Rand, n int) []int {
+	k := 1 + r.Intn(4)
+	if k > n {
+		k = n
+	}
+	return r.Perm(n)[:k]
+}
+
+// TestRoundTripEquivalence is the acceptance property of this subsystem:
+// over ≥200 random schemes spanning the chordality taxonomy, a Connector
+// revived from Decode(Encode(scheme)) must answer every query bit-for-bit
+// like the freshly frozen one — nodes, edges, method, optimality flags,
+// rationale, ranked interpretations — and fail with the same typed errors.
+// Both the zero-copy and the copying decode path are exercised.
+func TestRoundTripEquivalence(t *testing.T) {
+	const schemeCount = 200
+	r := rand.New(rand.NewSource(1985))
+	ctx := context.Background()
+
+	for i := 0; i < schemeCount; i++ {
+		b := randomScheme(r, i)
+		if b.N() == 0 {
+			continue
+		}
+		fresh := core.New(b)
+		data := snapshot.Encode(fresh.Frozen(), fresh.Class())
+
+		// Decode twice: once aligned (zero-copy on LE hosts), once off a
+		// deliberately misaligned buffer (copying fallback).
+		snapZC, err := snapshot.Decode(data)
+		if err != nil {
+			t.Fatalf("scheme %d: Decode: %v", i, err)
+		}
+		shifted := make([]byte, len(data)+1)
+		copy(shifted[1:], data)
+		snapCopy, err := snapshot.Decode(shifted[1:])
+		if err != nil {
+			t.Fatalf("scheme %d: misaligned Decode: %v", i, err)
+		}
+		if snapCopy.ZeroCopy {
+			t.Fatalf("scheme %d: misaligned decode claims zero-copy", i)
+		}
+
+		for _, snap := range []*snapshot.Snapshot{snapZC, snapCopy} {
+			if snap.Class != fresh.Class() {
+				t.Fatalf("scheme %d: class drifted: %+v vs %+v", i, snap.Class, fresh.Class())
+			}
+			loaded := core.NewFromSnapshot(snap)
+			if loaded.SnapshotVersion() != snapshot.Version {
+				t.Fatalf("scheme %d: loaded connector not stamped with the format version", i)
+			}
+
+			for q := 0; q < 4; q++ {
+				terms := randomTerminals(r, b.N())
+				var opts []core.QueryOption
+				switch q {
+				case 1:
+					opts = append(opts, core.WithMethod(core.MethodHeuristic))
+				case 2:
+					opts = append(opts, core.WithQueryExactLimit(1+r.Intn(6)))
+				case 3:
+					opts = append(opts, core.WithInterpretations(2, 3))
+				}
+				assertSameAnswer(t, ctx, fresh, loaded, terms, opts, fmt.Sprintf("scheme %d query %d", i, q))
+			}
+
+			// Typed-error parity on queries that must fail validation.
+			for _, terms := range [][]int{{}, {0, 0}, {b.N() + 7}, {-1}} {
+				assertSameAnswer(t, ctx, fresh, loaded, terms, nil, fmt.Sprintf("scheme %d invalid %v", i, terms))
+			}
+		}
+	}
+}
+
+// assertSameAnswer runs the same query on both connectors and requires
+// deep-equal Connections and errors.Is-equivalent failures.
+func assertSameAnswer(t *testing.T, ctx context.Context, fresh, loaded *core.Connector, terms []int, opts []core.QueryOption, tag string) {
+	t.Helper()
+	fc, ferr := fresh.Connect(ctx, terms, opts...)
+	lc, lerr := loaded.Connect(ctx, terms, opts...)
+	if (ferr == nil) != (lerr == nil) {
+		t.Fatalf("%s: error divergence: fresh=%v loaded=%v", tag, ferr, lerr)
+	}
+	if ferr != nil {
+		if ferr.Error() != lerr.Error() || !sameTypedError(ferr, lerr) {
+			t.Fatalf("%s: different failures: fresh=%v loaded=%v", tag, ferr, lerr)
+		}
+		return
+	}
+	if !reflect.DeepEqual(fc, lc) {
+		t.Fatalf("%s: answers diverge:\nfresh:  %+v\nloaded: %+v", tag, fc, lc)
+	}
+}
+
+// sameTypedError checks that both errors match the same sentinels.
+func sameTypedError(a, b error) bool {
+	for _, sentinel := range []error{
+		core.ErrEmptyQuery, core.ErrInvalidTerminal, core.ErrTooManyTerminals,
+	} {
+		if errors.Is(a, sentinel) != errors.Is(b, sentinel) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServiceAndRegistryRoundTrip drives the persistence path the serving
+// stack uses: Service.SaveSnapshot → Registry.LoadSnapshot must install an
+// epoch that answers like the original, stamped with its provenance, and a
+// later Set must swap it out atomically.
+func TestServiceAndRegistryRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(7))
+	b := gen.RandomConnectedBipartite(r, 6, 4, 0.4)
+	reg := core.NewRegistry()
+	reg.Set("s", b)
+	if got := reg.Source("s"); got != core.SourceCompiled {
+		t.Fatalf("Source after Set = %q", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.SaveSnapshot("s", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SaveSnapshot("ghost", &buf); !errors.Is(err, core.ErrUnknownScheme) {
+		t.Fatalf("SaveSnapshot(ghost) = %v", err)
+	}
+
+	loaded, err := reg.LoadSnapshot("restored", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Source("restored"); got != "snapshot-v1" {
+		t.Fatalf("Source after LoadSnapshot = %q", got)
+	}
+	if reg.Epoch("restored") != 1 {
+		t.Fatalf("epoch after LoadSnapshot = %d", reg.Epoch("restored"))
+	}
+
+	orig, _ := reg.Get("s")
+	for q := 0; q < 8; q++ {
+		terms := randomTerminals(r, b.N())
+		c1, e1 := orig.Connect(ctx, terms)
+		c2, e2 := loaded.Connect(ctx, terms)
+		if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("terms %v: service answers diverge (%v / %v)", terms, e1, e2)
+		}
+	}
+
+	// Corrupt bytes must leave the catalog untouched.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)-1] ^= 1
+	if _, err := reg.LoadSnapshot("restored", bad); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("LoadSnapshot(corrupt) = %v", err)
+	}
+	if reg.Epoch("restored") != 1 {
+		t.Fatalf("failed load bumped the epoch")
+	}
+
+	// A recompile swaps the snapshot epoch out and restamps the source.
+	reg.Set("restored", b)
+	if reg.Epoch("restored") != 2 || reg.Source("restored") != core.SourceCompiled {
+		t.Fatalf("swap after snapshot: epoch %d source %q", reg.Epoch("restored"), reg.Source("restored"))
+	}
+	// The held snapshot-epoch Service keeps answering.
+	if _, err := loaded.Connect(ctx, []int{0}); err != nil {
+		t.Fatalf("old snapshot epoch died after swap: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+)
+
+// ReadFile loads and decodes a snapshot from disk into process memory.
+// Prefer OpenMapped for large catalogs: it maps the file instead of
+// copying it.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// Mapped is a snapshot backed by a file mapping (or, on platforms without
+// mmap, by an ordinary read). Close releases the mapping — only call it
+// once the Snapshot (and every Connector/Service built on it) is no longer
+// in use, because a zero-copy decode serves queries straight from the
+// mapped pages.
+type Mapped struct {
+	*Snapshot
+	data   []byte
+	mapped bool
+}
+
+// OpenMapped memory-maps path read-only and decodes it in place: on a
+// little-endian host the CSR arrays of the returned snapshot are the page
+// cache, so booting a catalog costs validation, not copying. On hosts
+// without mmap support it degrades to ReadFile semantics.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerSize {
+		return nil, fmt.Errorf("%s: %w (file is %d bytes)", path, ErrNotSnapshot, st.Size())
+	}
+	data, mapped, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		if mapped {
+			_ = unmapFile(data)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Mapped{Snapshot: snap, data: data, mapped: mapped}, nil
+}
+
+// Close releases the file mapping. After Close, a zero-copy Snapshot must
+// not be used.
+func (m *Mapped) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.mapped {
+		return unmapFile(data)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package snapshot persists compiled scheme epochs: the frozen CSR graph
+// (internal/graph), the bipartite partition (internal/bipartite) and the
+// chordality classification (internal/chordality) travel as one versioned,
+// checksummed, little-endian binary catalog file, so a process can boot a
+// large Registry without re-running Freeze+Classify on any scheme.
+//
+// # File layout (version 1)
+//
+// Every multi-byte integer is little-endian. The file is a fixed header, a
+// section table, and 8-byte-aligned section payloads:
+//
+//	offset  size  field
+//	0       8     magic "CHRDSNAP"
+//	8       2     format version (uint16, currently 1)
+//	10      2     reserved (0)
+//	12      4     section count (uint32)
+//	16      8     total file size in bytes (uint64)
+//	24      4     CRC-32C of bytes [0,24) ++ [28,size) (uint32)
+//	28      4     reserved (0)
+//	32      24×k  section table: id u32, reserved u32, offset u64, length u64
+//
+// Sections (unknown ids are ignored for forward compatibility; all of the
+// following are required except the matrix):
+//
+//	id  section    payload
+//	1   meta       n u32, flags u32 (bit0: matrix present), stride u32,
+//	               reserved u32, m u64
+//	2   offsets    (n+1) int32 — CSR row starts
+//	3   neighbors  2m int32 — concatenated sorted adjacency lists
+//	4   matrix     n×stride uint64 — dense adjacency bitset (optional)
+//	5   sides      n bytes — graph.Side per node (1 or 2)
+//	6   labels     n u32, then n×(len u32), then the concatenated label bytes
+//	7   class      1 byte — the 7 chordality verdicts, bit 0 = (4,1)-chordal
+//	               … bit 6 = V2-conformal (chordality.Class field order)
+//
+// Because sections start on 8-byte boundaries, the hot arrays — offsets,
+// neighbors, matrix — decode zero-copy on little-endian hosts: the byte
+// runs are reinterpreted in place (the layout is mmap-able), with a safe
+// copying fallback when the buffer is misaligned or the host is big-endian.
+// Label strings are always copied (Go strings own their bytes).
+//
+// # Integrity
+//
+// Decode verifies the magic, version, declared size and CRC-32C before
+// touching any section, then validates every structural invariant a real
+// Freeze output satisfies (monotone offsets, sorted symmetric in-range
+// adjacency, bipartite sides, distinct labels). Failures are typed:
+// ErrNotSnapshot, ErrUnsupportedVersion, ErrChecksum, ErrCorrupt — all
+// errors.Is-testable. A decoded snapshot therefore either behaves exactly
+// like a live compile or never comes into existence.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"unsafe"
+)
+
+// Version is the format version this build writes and the only one it
+// reads.
+const Version = 1
+
+const (
+	magic            = "CHRDSNAP"
+	headerSize       = 32
+	sectionEntrySize = 24
+	metaSize         = 24
+)
+
+// Section ids of format version 1.
+const (
+	secMeta      = 1
+	secOffsets   = 2
+	secNeighbors = 3
+	secMatrix    = 4
+	secSides     = 5
+	secLabels    = 6
+	secClass     = 7
+)
+
+// metaFlagMatrix marks the optional dense-bitset section as present.
+const metaFlagMatrix = 1 << 0
+
+// Typed decode failures, from outermost to innermost check.
+var (
+	// ErrNotSnapshot: the bytes do not start with the snapshot magic.
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot file")
+	// ErrUnsupportedVersion: the file is a snapshot, but of a format
+	// version this build does not read.
+	ErrUnsupportedVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum: the CRC-32C over the file does not match its header —
+	// the file was corrupted or truncated after writing.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt: the checksum holds but the structure does not (bad
+	// section bounds, broken CSR invariants, invalid sides, …).
+	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the file CRC: everything except the 8 bytes holding
+// the CRC field and its padding.
+func checksum(data []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, data[:24])
+	return crc32.Update(crc, castagnoli, data[28:])
+}
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian — the precondition for reinterpreting file bytes in place.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// IsSnapshot reports whether data begins with the snapshot magic — the
+// cheap sniff callers use to route a catalog file (or an uploaded body) to
+// Decode versus the textual scheme parser.
+func IsSnapshot(data []byte) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == magic
+}
+
+var le = binary.LittleEndian

@@ -1,0 +1,61 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// FuzzDecode hammers the parser with arbitrary bytes: it must never panic,
+// and whatever it does accept must be internally consistent — re-encoding
+// the decoded epoch yields a canonical snapshot that decodes to the same
+// graph. The seeds cover the interesting strata: valid files (with and
+// without the matrix section), truncations at every structural boundary,
+// bit flips, and a version bump. go test -fuzz=FuzzDecode explores from
+// there; the checked-in corpus under testdata/fuzz keeps past findings as
+// regression inputs.
+func FuzzDecode(f *testing.F) {
+	fb, class := compile(libraryScheme())
+	valid := Encode(fb, class)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)/2])
+	for _, cut := range []int{1, 8, 12, 24, 31} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[40] ^= 0x10
+	f.Add(flipped)
+	versioned := append([]byte(nil), valid...)
+	le.PutUint16(versioned[8:], 2)
+	f.Add(versioned)
+	empty, emptyClass := compile(bipartite.New())
+	f.Add(Encode(empty, emptyClass))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatalf("Decode returned both a snapshot and %v", err)
+			}
+			return
+		}
+		// Accepted bytes must round-trip to a stable canonical form.
+		re := Encode(snap.Frozen, snap.Class)
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of an accepted snapshot does not decode: %v", err)
+		}
+		if again.Class != snap.Class ||
+			again.Frozen.N() != snap.Frozen.N() ||
+			again.Frozen.M() != snap.Frozen.M() {
+			t.Fatalf("re-encode drifted: %+v vs %+v", again, snap)
+		}
+		if !bytes.Equal(Encode(again.Frozen, again.Class), re) {
+			t.Fatalf("canonical form is not a fixed point")
+		}
+	})
+}

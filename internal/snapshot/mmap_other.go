@@ -1,0 +1,21 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap reads the open descriptor into
+// memory; Close is then a no-op and the snapshot owns ordinary heap
+// bytes.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile(data []byte) error { return nil }

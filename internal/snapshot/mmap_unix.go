@@ -1,0 +1,29 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The second result reports that
+// the bytes are a real mapping (Close must munmap them).
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to an ordinary read
+		// rather than failing the boot. Read through the descriptor we
+		// already hold — re-opening by name could race with a rename and
+		// read a different file than the one the caller statted.
+		buf := make([]byte, size)
+		if _, rerr := io.ReadFull(io.NewSectionReader(f, 0, size), buf); rerr != nil {
+			return nil, false, err
+		}
+		return buf, false, nil
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,391 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+	"repro/internal/graph"
+)
+
+// libraryScheme is the paper's Figure 3(c) scheme with its single chord —
+// the same fixture scripts/http_e2e.sh serves — used for the golden file.
+func libraryScheme() *bipartite.Graph {
+	b := bipartite.New()
+	for _, v := range []string{"A", "B", "C"} {
+		b.AddV1(v)
+	}
+	for _, v := range []string{"1", "2", "3"} {
+		b.AddV2(v)
+	}
+	for _, e := range [][2]string{{"A", "1"}, {"B", "1"}, {"B", "2"}, {"C", "2"}, {"C", "3"}, {"A", "3"}, {"C", "1"}} {
+		b.AddEdgeLabels(e[0], e[1])
+	}
+	return b
+}
+
+// compile freezes and classifies b the way core.New does.
+func compile(b *bipartite.Graph) (*bipartite.Frozen, chordality.Class) {
+	fb := b.Freeze()
+	return fb, chordality.ClassifyFrozen(fb)
+}
+
+// assertEqualEpoch fails unless the decoded snapshot matches the original
+// compiled epoch structurally: labels, sides, CSR arrays, matrix, class.
+func assertEqualEpoch(t *testing.T, want *bipartite.Frozen, wantClass chordality.Class, got *Snapshot) {
+	t.Helper()
+	if got.Class != wantClass {
+		t.Fatalf("class mismatch: got %+v want %+v", got.Class, wantClass)
+	}
+	fw, fg := want.G(), got.Frozen.G()
+	if fw.N() != fg.N() || fw.M() != fg.M() {
+		t.Fatalf("size mismatch: got (%d,%d) want (%d,%d)", fg.N(), fg.M(), fw.N(), fw.M())
+	}
+	for v := 0; v < fw.N(); v++ {
+		if fw.Label(v) != fg.Label(v) {
+			t.Fatalf("label %d: got %q want %q", v, fg.Label(v), fw.Label(v))
+		}
+		if want.Side(v) != got.Frozen.Side(v) {
+			t.Fatalf("side %d mismatch", v)
+		}
+		wn, gn := fw.Neighbors(v), fg.Neighbors(v)
+		if len(wn) != len(gn) {
+			t.Fatalf("degree %d: got %d want %d", v, len(gn), len(wn))
+		}
+		for i := range wn {
+			if wn[i] != gn[i] {
+				t.Fatalf("adjacency of %d differs at %d", v, i)
+			}
+		}
+	}
+	if fw.HasMatrix() != fg.HasMatrix() {
+		t.Fatalf("matrix presence: got %v want %v", fg.HasMatrix(), fw.HasMatrix())
+	}
+	for u := 0; u < fw.N(); u++ {
+		for v := 0; v < fw.N(); v++ {
+			if fw.HasEdge(u, v) != fg.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) diverges", u, v)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	schemes := map[string]*bipartite.Graph{
+		"empty":   bipartite.New(),
+		"single":  func() *bipartite.Graph { b := bipartite.New(); b.AddV1("x"); return b }(),
+		"library": libraryScheme(),
+		"nomatrix": func() *bipartite.Graph {
+			// Above the bitset cutoff Freeze compiles no matrix; the
+			// snapshot must carry that faithfully.
+			b := bipartite.New()
+			for i := 0; i < 1200; i++ {
+				b.AddV1(fmt.Sprintf("a%d", i))
+			}
+			for i := 0; i < 900; i++ {
+				b.AddV2(fmt.Sprintf("r%d", i))
+				b.AddEdge(i, 1200+i)
+			}
+			return b
+		}(),
+	}
+	for name, b := range schemes {
+		t.Run(name, func(t *testing.T) {
+			fb, class := compile(b)
+			data := Encode(fb, class)
+			snap, err := Decode(data)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if snap.Version != Version {
+				t.Fatalf("version: got %d want %d", snap.Version, Version)
+			}
+			assertEqualEpoch(t, fb, class, snap)
+		})
+	}
+}
+
+func TestDecodeMisalignedFallsBackToCopy(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	data := Encode(fb, class)
+
+	aligned, err := Decode(data)
+	if err != nil {
+		t.Fatalf("aligned Decode: %v", err)
+	}
+	if !aligned.ZeroCopy {
+		t.Fatalf("aligned little-endian decode should be zero-copy")
+	}
+
+	// Shift the image by one byte: the int32 sections land on odd
+	// addresses, forcing the copying fallback — same answers, ZeroCopy off.
+	buf := make([]byte, len(data)+1)
+	copy(buf[1:], data)
+	shifted, err := Decode(buf[1:])
+	if err != nil {
+		t.Fatalf("misaligned Decode: %v", err)
+	}
+	if shifted.ZeroCopy {
+		t.Fatalf("misaligned decode claims zero-copy")
+	}
+	assertEqualEpoch(t, fb, class, shifted)
+}
+
+// TestDecodeMixedAlignment decodes from a buffer whose base is 4 mod 8:
+// the int32 CSR sections (8-aligned within the file, so 4-aligned here)
+// adopt the buffer while the uint64 matrix must be copied. ZeroCopy must
+// still report true — the buffer IS aliased — or a caller would free
+// memory the CSR still reads.
+func TestDecodeMixedAlignment(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	data := Encode(fb, class)
+
+	buf := make([]byte, len(data)+16)
+	base := uintptr(unsafe.Pointer(&buf[0]))
+	off := int((8-base%8)%8) + 4 // first index of buf that is ≡4 (mod 8)
+	copy(buf[off:], data)
+	snap, err := Decode(buf[off : off+len(data)])
+	if err != nil {
+		t.Fatalf("mixed-alignment Decode: %v", err)
+	}
+	if hostLittleEndian && !snap.ZeroCopy {
+		t.Fatalf("int32 sections alias the buffer but ZeroCopy is false")
+	}
+	assertEqualEpoch(t, fb, class, snap)
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	if !bytes.Equal(Encode(fb, class), Encode(fb, class)) {
+		t.Fatalf("Encode is not deterministic")
+	}
+	fb2, class2 := compile(libraryScheme())
+	if !bytes.Equal(Encode(fb, class), Encode(fb2, class2)) {
+		t.Fatalf("Encode depends on compile identity, not content")
+	}
+}
+
+// sectionBytes locates a section's byte range inside an encoded snapshot.
+func sectionBytes(t *testing.T, data []byte, id uint32) (start, length int) {
+	t.Helper()
+	count := int(le.Uint32(data[12:16]))
+	for i := 0; i < count; i++ {
+		e := data[headerSize+i*sectionEntrySize:]
+		if le.Uint32(e[0:4]) == id {
+			return int(le.Uint64(e[8:16])), int(le.Uint64(e[16:24]))
+		}
+	}
+	t.Fatalf("section %d not found", id)
+	return 0, 0
+}
+
+// fixCRC recomputes the checksum after a deliberate mutation, so the test
+// reaches the structural validators rather than stopping at ErrChecksum.
+func fixCRC(data []byte) { le.PutUint32(data[24:], checksum(data)) }
+
+func TestDecodeTypedErrors(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	valid := Encode(fb, class)
+
+	mutate := func(f func(d []byte)) []byte {
+		d := append([]byte(nil), valid...)
+		f(d)
+		return d
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrNotSnapshot},
+		{"garbage", []byte("definitely not a snapshot"), ErrNotSnapshot},
+		{"magic-only", []byte(magic), ErrCorrupt},
+		{"future-version", mutate(func(d []byte) { le.PutUint16(d[8:], Version+1) }), ErrUnsupportedVersion},
+		{"truncated", valid[:len(valid)-9], ErrCorrupt},
+		{"trailing-garbage", append(append([]byte(nil), valid...), 0xFF), ErrCorrupt},
+		{"payload-bitflip", mutate(func(d []byte) { d[len(d)-1] ^= 0x40 }), ErrChecksum},
+		{"header-bitflip", mutate(func(d []byte) { d[13] ^= 0x01 }), ErrChecksum},
+		{"neighbor-out-of-range", mutate(func(d []byte) {
+			start, _ := sectionBytes(t, d, secNeighbors)
+			le.PutUint32(d[start:], 0xFFFF)
+			fixCRC(d)
+		}), ErrCorrupt},
+		{"matrix-lies-about-csr", mutate(func(d []byte) {
+			// Set a bit the adjacency lists do not have: HasEdge would
+			// disagree with Neighbors, so the decode must refuse.
+			start, _ := sectionBytes(t, d, secMatrix)
+			d[start] ^= 1 << 1 // edge 0-1: A-B joins one side, never present
+			fixCRC(d)
+		}), ErrCorrupt},
+		{"invalid-side", mutate(func(d []byte) {
+			start, _ := sectionBytes(t, d, secSides)
+			d[start] = 9
+			fixCRC(d)
+		}), ErrCorrupt},
+		{"edge-inside-one-side", mutate(func(d []byte) {
+			// Flip node 0 (V1 "A") to V2: its arcs now join one side.
+			start, _ := sectionBytes(t, d, secSides)
+			d[start] = 2
+			fixCRC(d)
+		}), ErrCorrupt},
+		{"duplicate-label", mutate(func(d []byte) {
+			// Labels are "A","B","C","1","2","3" — one byte each; making
+			// the second blob byte 'A' duplicates the first label.
+			start, length := sectionBytes(t, d, secLabels)
+			d[start+length-5] = 'A'
+			fixCRC(d)
+		}), ErrCorrupt},
+		{"missing-section", mutate(func(d []byte) {
+			// Retag the class section with an unknown id: ignored on read,
+			// so the required class section is now missing.
+			count := int(le.Uint32(d[12:16]))
+			for i := 0; i < count; i++ {
+				e := d[headerSize+i*sectionEntrySize:]
+				if le.Uint32(e[0:4]) == secClass {
+					le.PutUint32(e[0:4], 250)
+				}
+			}
+			fixCRC(d)
+		}), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, err := Decode(tc.data)
+			if snap != nil || err == nil {
+				t.Fatalf("Decode accepted %s", tc.name)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownSectionsIgnored retags the (optional) matrix section with an
+// id this version does not know and clears its meta flag: a future writer
+// adding sections must not break this reader, and the decode must fall
+// back to CSR binary search with identical answers.
+func TestUnknownSectionsIgnored(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	d := Encode(fb, class)
+	count := int(le.Uint32(d[12:16]))
+	for i := 0; i < count; i++ {
+		e := d[headerSize+i*sectionEntrySize:]
+		if le.Uint32(e[0:4]) == secMatrix {
+			le.PutUint32(e[0:4], 99)
+		}
+	}
+	metaStart, _ := sectionBytes(t, d, secMeta)
+	le.PutUint32(d[metaStart+4:], le.Uint32(d[metaStart+4:])&^uint32(metaFlagMatrix))
+	fixCRC(d)
+
+	snap, err := Decode(d)
+	if err != nil {
+		t.Fatalf("Decode with unknown section: %v", err)
+	}
+	if snap.Frozen.G().HasMatrix() {
+		t.Fatalf("matrix should be absent after the retag")
+	}
+	fw := fb.G()
+	for u := 0; u < fw.N(); u++ {
+		for v := 0; v < fw.N(); v++ {
+			if fw.HasEdge(u, v) != snap.Frozen.G().HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) diverges without the matrix", u, v)
+			}
+		}
+	}
+}
+
+// TestGolden pins the on-disk format: the checked-in fixture must decode,
+// and re-encoding the same scheme must reproduce it byte for byte — any
+// accidental format drift fails here before it can orphan deployed
+// catalogs. Regenerate deliberately with SNAPSHOT_UPDATE=1 go test.
+func TestGolden(t *testing.T) {
+	path := filepath.Join("testdata", "library.snap")
+	fb, class := compile(libraryScheme())
+	data := Encode(fb, class)
+
+	if os.Getenv("SNAPSHOT_UPDATE") == "1" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(data))
+	}
+
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with SNAPSHOT_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatalf("encoding drifted from the golden fixture (%d vs %d bytes); if the format change is deliberate, bump Version and regenerate with SNAPSHOT_UPDATE=1", len(data), len(golden))
+	}
+	snap, err := Decode(golden)
+	if err != nil {
+		t.Fatalf("Decode(golden): %v", err)
+	}
+	assertEqualEpoch(t, fb, class, snap)
+	if snap.Class.Chordal62 {
+		t.Fatalf("library scheme misclassified: it is cyclic with a chord, not (6,2)-chordal? class=%+v", snap.Class)
+	}
+}
+
+func TestReadFileAndOpenMapped(t *testing.T) {
+	fb, class := compile(libraryScheme())
+	data := Encode(fb, class)
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	assertEqualEpoch(t, fb, class, snap)
+
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	assertEqualEpoch(t, fb, class, m.Snapshot)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatalf("ReadFile of a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(bad); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("OpenMapped(bad): got %v want ErrNotSnapshot", err)
+	}
+}
+
+func TestGraphLevelSnapshot(t *testing.T) {
+	// graph.RestoreFrozen must reject a matrix whose geometry lies.
+	g := graph.New()
+	g.AddNode("a")
+	g.AddNode("b")
+	g.AddEdge(0, 1)
+	f := g.Freeze()
+	offsets, neighbors := f.CSR()
+	if _, err := graph.RestoreFrozen(f.NodeLabels(), offsets, neighbors, make([]uint64, 7), 3); err == nil {
+		t.Fatalf("RestoreFrozen accepted a bad matrix geometry")
+	}
+	if _, err := graph.RestoreFrozen(f.NodeLabels(), offsets, neighbors, nil, 0); err != nil {
+		t.Fatalf("RestoreFrozen without matrix: %v", err)
+	}
+}

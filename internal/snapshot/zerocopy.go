@@ -1,0 +1,63 @@
+package snapshot
+
+import "unsafe"
+
+// The zero-copy core: on little-endian hosts an aligned byte run inside the
+// snapshot IS the int32/uint64 array the CSR arrays want, so Decode can
+// adopt file (or mmap) memory in place. Every helper has a copying twin
+// used when the buffer is misaligned or the host is big-endian; both paths
+// produce identical values, only ownership differs.
+
+// bytesOfInt32s reinterprets s as its little-endian byte image. Caller must
+// be on a little-endian host and only read the result while s is alive.
+func bytesOfInt32s(s []int32) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+// bytesOfUint64s reinterprets s as its little-endian byte image.
+func bytesOfUint64s(s []uint64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
+// int32View returns b reinterpreted as count int32s without copying, and
+// whether that was possible (little-endian host, 4-byte-aligned base).
+// len(b) must already equal 4*count.
+func int32View(b []byte) ([]int32, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// int32Copy decodes b as little-endian int32s into fresh memory.
+func int32Copy(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(le.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// uint64View returns b reinterpreted as uint64s without copying, and
+// whether that was possible (little-endian host, 8-byte-aligned base).
+func uint64View(b []byte) ([]uint64, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), true
+}
+
+// uint64Copy decodes b as little-endian uint64s into fresh memory.
+func uint64Copy(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = le.Uint64(b[8*i:])
+	}
+	return out
+}

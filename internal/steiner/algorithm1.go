@@ -177,6 +177,12 @@ func V2Count(b *bipartite.Graph, t Tree) int {
 	return t.CountSide(func(v int) bool { return b.Side(v) == graph.Side2 })
 }
 
+// V2CountFrozen is V2Count on the compiled view — the serving path's
+// variant, so certifying V2-minimality never needs the mutable graph.
+func V2CountFrozen(fb *bipartite.Frozen, t Tree) int {
+	return t.CountSide(func(v int) bool { return fb.Side(v) == graph.Side2 })
+}
+
 // V1Count returns the number of V1 nodes of the tree in b.
 func V1Count(b *bipartite.Graph, t Tree) int {
 	return t.CountSide(func(v int) bool { return b.Side(v) == graph.Side1 })

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# End-to-end proof of the snapshot subsystem: compile the example schemes
+# to .snap catalogs, boot one server from the text schemes (live compile)
+# and one from the snapshots, run the same scripted queries against both,
+# and require identical answers. Then exercise the admin trio on the
+# snapshot-booted server: download an epoch, re-upload it under a new
+# name, query it, delete it.
+#
+# Usage: scripts/snapshot_e2e.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK=$(mktemp -d)
+LIVE_PID=""
+SNAP_PID=""
+trap 'kill "$LIVE_PID" "$SNAP_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/chordalctl" ./cmd/chordalctl
+
+# The same fixtures http_e2e.sh serves: Figure 3(c) plus a tiny tree.
+cat > "$WORK/library.txt" <<'EOF'
+v1 A
+v1 B
+v1 C
+v2 1
+v2 2
+v2 3
+edge A 1
+edge B 1
+edge B 2
+edge C 2
+edge C 3
+edge A 3
+edge C 1
+EOF
+cat > "$WORK/tiny.txt" <<'EOF'
+v1 x
+v1 y
+v2 r
+edge x r
+edge y r
+EOF
+
+"$WORK/chordalctl" -compile "$WORK/library.snap" "$WORK/library.txt"
+"$WORK/chordalctl" -compile "$WORK/tiny.snap" "$WORK/tiny.txt"
+
+# A corrupted snapshot must be rejected at boot with a checksum error.
+cp "$WORK/library.snap" "$WORK/corrupt.snap"
+printf '\377' | dd of="$WORK/corrupt.snap" bs=1 seek=100 conv=notrunc status=none
+if "$WORK/chordalctl" -registry "bad=$WORK/corrupt.snap" >/dev/null 2>"$WORK/corrupt.err"; then
+  echo "corrupted snapshot was accepted" >&2; exit 1
+fi
+grep -q checksum "$WORK/corrupt.err" || { echo "missing checksum diagnostic:" >&2; cat "$WORK/corrupt.err" >&2; exit 1; }
+
+boot() { # boot LOGFILE REGISTRY_SPEC -> sets BOOT_PID and ADDR
+  local log=$1 spec=$2
+  "$WORK/chordalctl" -serve 127.0.0.1:0 -registry "$spec" -max-terminals 5 -v > "$log" 2>&1 &
+  BOOT_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^chordalctl: serving HTTP on \([^ ]*\).*/\1/p' "$log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$BOOT_PID" 2>/dev/null || { cat "$log" >&2; echo "server died" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "server never announced its address" >&2; exit 1; }
+}
+
+queries() { # queries BASE OUTFILE
+  local base=$1 out=$2
+  {
+    echo "=== schemes"
+    curl -sS -w 'status:%{http_code}\n' "$base/v1/schemes"
+    echo "=== connect"
+    curl -sS -w 'status:%{http_code}\n' -d '{"scheme":"library","labels":["A","C"]}' "$base/v1/connect"
+    echo "=== connect-forced"
+    curl -sS -w 'status:%{http_code}\n' -d '{"scheme":"library","labels":["A","C"],"method":"heuristic"}' "$base/v1/connect"
+    echo "=== batch"
+    curl -sS -w 'status:%{http_code}\n' -d '{"scheme":"tiny","queries":[[0,1],[0,1],[99]]}' "$base/v1/batch"
+    echo "=== interpretations"
+    curl -sS -w 'status:%{http_code}\n' -d '{"scheme":"library","labels":["A","C"],"max_aux":2,"limit":3}' "$base/v1/interpretations"
+    echo "=== over-budget"
+    curl -sS -w 'status:%{http_code}\n' -d '{"scheme":"library","terminals":[0,1,2,3,4,5]}' "$base/v1/connect"
+  } > "$out"
+}
+
+boot "$WORK/live.log" "library=$WORK/library.txt,tiny=$WORK/tiny.txt"
+LIVE_PID=$BOOT_PID
+LIVE="http://$ADDR"
+boot "$WORK/snap.log" "library=$WORK/library.snap,tiny=$WORK/tiny.snap"
+SNAP_PID=$BOOT_PID
+SNAP="http://$ADDR"
+
+grep -q 'snapshot-v1 from' "$WORK/snap.log" || { echo "-v did not report snapshot provenance" >&2; cat "$WORK/snap.log" >&2; exit 1; }
+
+queries "$LIVE" "$WORK/live.txt"
+queries "$SNAP" "$WORK/snap.txt"
+
+# The only permitted divergence is the provenance field on /v1/schemes.
+sed 's/"source":"snapshot-v[0-9]*",//g' "$WORK/snap.txt" > "$WORK/snap.normalized.txt"
+diff -u "$WORK/live.txt" "$WORK/snap.normalized.txt" || {
+  echo "snapshot-booted answers diverge from live-compiled answers" >&2; exit 1;
+}
+
+# Admin trio on the snapshot-booted server.
+curl -sSf "$SNAP/v1/schemes/library/snapshot" -o "$WORK/downloaded.snap"
+cmp -s "$WORK/library.snap" "$WORK/downloaded.snap" || { echo "downloaded snapshot differs from the compiled one" >&2; exit 1; }
+
+curl -sSf -X PUT --data-binary @"$WORK/downloaded.snap" "$SNAP/v1/schemes/copy" > "$WORK/put.json"
+grep -q '"source":"snapshot-v1"' "$WORK/put.json" || { echo "PUT response missing provenance: $(cat "$WORK/put.json")" >&2; exit 1; }
+
+A=$(curl -sS -d '{"scheme":"library","labels":["A","C"]}' "$SNAP/v1/connect" | sed 's/"scheme":"library"//')
+B=$(curl -sS -d '{"scheme":"copy","labels":["A","C"]}' "$SNAP/v1/connect" | sed 's/"scheme":"copy"//')
+[ "$A" = "$B" ] || { echo "uploaded copy answers differently" >&2; exit 1; }
+
+STATUS=$(curl -sS -o /dev/null -w '%{http_code}' -X DELETE "$SNAP/v1/schemes/copy")
+[ "$STATUS" = 200 ] || { echo "DELETE returned $STATUS" >&2; exit 1; }
+STATUS=$(curl -sS -o /dev/null -w '%{http_code}' -X DELETE "$SNAP/v1/schemes/copy")
+[ "$STATUS" = 404 ] || { echo "second DELETE returned $STATUS, want 404" >&2; exit 1; }
+STATUS=$(curl -sS -o /dev/null -w '%{http_code}' -X PUT --data-binary @"$WORK/corrupt.snap" "$SNAP/v1/schemes/bad")
+[ "$STATUS" = 422 ] || { echo "corrupt PUT returned $STATUS, want 422" >&2; exit 1; }
+
+# Graceful shutdown of both servers.
+for pid in "$LIVE_PID" "$SNAP_PID"; do
+  kill -TERM "$pid"
+  wait "$pid" || { echo "server $pid exited non-zero after SIGTERM" >&2; exit 1; }
+done
+
+echo "snapshot e2e OK (live vs snapshot answers identical; admin trio verified)"

@@ -1,0 +1,127 @@
+package chordal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotFacade drives the persistence surface end to end through the
+// public facade: compile → save → decode → serve, plus the mmap path and
+// the typed decode errors.
+func TestSnapshotFacade(t *testing.T) {
+	ctx := context.Background()
+	b := NewBipartite()
+	reader := b.AddV1("reader")
+	book := b.AddV1("book")
+	author := b.AddV1("author")
+	loan := b.AddV2("loan")
+	wrote := b.AddV2("wrote")
+	b.AddEdge(reader, loan)
+	b.AddEdge(book, loan)
+	b.AddEdge(book, wrote)
+	b.AddEdge(author, wrote)
+
+	svc := Open(b)
+	var buf bytes.Buffer
+	if err := svc.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(EncodeSnapshot(snap.Frozen, snap.Class), buf.Bytes()) {
+		t.Fatal("EncodeSnapshot is not the inverse of DecodeSnapshot")
+	}
+	loaded := OpenSnapshot(snap)
+	want, err := svc.Connect(ctx, []int{reader, author})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Connect(ctx, []int{reader, author})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("snapshot-served answer diverges:\n%+v\n%+v", want, got)
+	}
+	if ConnectorFromSnapshot(snap).Class() != svc.Connector().Class() {
+		t.Fatal("class diverges through the facade")
+	}
+
+	path := filepath.Join(t.TempDir(), "library.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMappedSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgot, err := OpenSnapshot(m.Snapshot).Connect(ctx, []int{reader, author})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, mgot) {
+		t.Fatal("mmap-served answer diverges")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeSnapshot([]byte("junk")); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("junk: %v", err)
+	}
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 1
+	if _, err := DecodeSnapshot(corrupt); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if _, err := DecodeSnapshot(corrupt[:40]); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+// TestRegistrySnapshotFacade exercises Registry.SaveSnapshot/LoadSnapshot
+// through the facade aliases.
+func TestRegistrySnapshotFacade(t *testing.T) {
+	ctx := context.Background()
+	b := NewBipartite()
+	x := b.AddV1("x")
+	y := b.AddV1("y")
+	r := b.AddV2("r")
+	b.AddEdge(x, r)
+	b.AddEdge(y, r)
+
+	reg := NewRegistry()
+	reg.Set("tiny", b)
+	var buf bytes.Buffer
+	if err := reg.SaveSnapshot("tiny", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadSnapshot("tiny2", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := reg.Connect(ctx, "tiny", []int{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := reg.Connect(ctx, "tiny2", []int{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("registry snapshot answers diverge")
+	}
+	if reg.Source("tiny2") != "snapshot-v1" {
+		t.Fatalf("Source = %q", reg.Source("tiny2"))
+	}
+}
