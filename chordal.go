@@ -42,6 +42,13 @@
 //
 //	results := svc.ConnectBatch(ctx, queries)  // answers in query order
 //
+// The cache is sharded (internal/cache): N independently locked LRU
+// shards selected by a hash of the canonical key, so concurrent hits on a
+// warm cache do not serialize on one mutex. WithCacheShards tunes the
+// shard count (default GOMAXPROCS rounded up to a power of two, max 64;
+// 1 restores the v1 single-lock global-LRU semantics); Service.Stats
+// reports per-shard occupancy alongside the aggregate counters.
+//
 // A Registry serves many named schemes from one process, with atomic
 // compile-and-swap updates (in-flight queries finish on the old frozen
 // epoch; new queries see the new one):
@@ -198,6 +205,7 @@ var (
 var (
 	WithWorkers         = core.WithWorkers
 	WithCacheSize       = core.WithCacheSize
+	WithCacheShards     = core.WithCacheShards
 	WithExactLimit      = core.WithExactLimit
 	WithMaxTerminals    = core.WithMaxTerminals
 	WithV1TerminalsOnly = core.WithV1TerminalsOnly

@@ -25,9 +25,15 @@
 //
 //	chordalctl [-hypergraph] [-json] [file]
 //	chordalctl -compile out.snap [-hypergraph] [file]
-//	chordalctl -batch queries.txt [-workers n] [-timeout d] [file]
-//	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d]
-//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [file]
+//	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [file]
+//	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d] [-cache-shards n]
+//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [file]
+//
+// -cache-shards splits each scheme's answer cache into n independently
+// locked shards (rounded up to a power of two; default: GOMAXPROCS, at
+// most 64) — raise it when a profiler shows hot cache locks at high QPS,
+// or pin it to 1 for the v1 single-lock global-LRU semantics. Per-shard
+// occupancy is visible in GET /v1/stats.
 //
 // Reads the graph from the file or standard input ("-batch -" reads the
 // queries from standard input instead; the graph must then come from a
@@ -97,6 +103,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	workers := 0
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
 	maxTerminals := 0
+	cacheShards := 0
 	var timeout time.Duration
 	var files []string
 	for i := 0; i < len(args); i++ {
@@ -139,6 +146,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				return fmt.Errorf("-max-terminals: %v", err)
 			}
 			maxTerminals = n
+		case "-cache-shards", "--cache-shards":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-cache-shards needs a count argument")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-cache-shards: %v", err)
+			}
+			if n < 1 {
+				return fmt.Errorf("-cache-shards: count must be >= 1 (rounded up to a power of two)")
+			}
+			cacheShards = n
 		case "-batch", "--batch":
 			i++
 			if i >= len(args) {
@@ -186,6 +206,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if maxTerminals > 0 {
 		schemeOpts = append(schemeOpts, core.WithMaxTerminals(maxTerminals))
 	}
+	if cacheShards > 0 {
+		// Answer-cache lock sharding for every scheme this process
+		// serves, batch and HTTP alike (PUT-uploaded schemes inherit it
+		// via the serve config).
+		schemeOpts = append(schemeOpts, core.WithCacheShards(cacheShards))
+	}
 
 	// Reject flag combinations that would otherwise be silently ignored —
 	// a server quietly discarding the user's query file is worse than an
@@ -198,6 +224,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if serve == "" && maxInFlightSet {
 		return fmt.Errorf("-max-inflight only applies to -serve")
+	}
+	if cacheShards > 0 && serve == "" && batch == "" && registry == "" {
+		// Covers plain describe/-json and -compile alike: no Service (and
+		// so no answer cache) is ever built there, and a silently ignored
+		// tuning flag is worse than an error.
+		return fmt.Errorf("-cache-shards is a serving knob; it requires -serve, -batch or -registry")
 	}
 	if compile != "" {
 		switch {
@@ -295,8 +327,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		st := svc.Stats()
-		fmt.Fprintf(stdout, "answered %d queries (%d cache hits, %d misses)\n",
-			len(queries), st.Hits, st.Misses)
+		fmt.Fprintf(stdout, "answered %d queries (%d cache hits, %d misses, %d cache shards)\n",
+			len(queries), st.Hits, st.Misses, st.Shards)
 		if n := countFailed(queries); n > 0 {
 			return &batchError{failed: n, total: len(queries)}
 		}

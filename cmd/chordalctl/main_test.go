@@ -104,7 +104,7 @@ A C          # duplicate: answered from the cache
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-batch", qpath, "-workers", "2"}, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
+	if err := run([]string{"-batch", qpath, "-workers", "2", "-cache-shards", "2"}, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -112,7 +112,7 @@ A C          # duplicate: answered from the cache
 		"query 1 [A C]:",
 		"query 2 [A B C]:",
 		"query 3 [A C]:",
-		"answered 3 queries (1 cache hits, 2 misses)",
+		"answered 3 queries (1 cache hits, 2 misses, 2 cache shards)",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("batch output missing %q:\n%s", want, s)
@@ -324,7 +324,11 @@ func TestServeFlagConflicts(t *testing.T) {
 	for _, args := range [][]string{
 		{"-serve", ":0", "-batch", "q.txt"},
 		{"-serve", ":0", "-json"},
-		{"-max-inflight", "4"}, // only meaningful with -serve
+		{"-max-inflight", "4"},                       // only meaningful with -serve
+		{"-cache-shards", "0"},                       // must be >= 1
+		{"-cache-shards", "x"},                       // not a number
+		{"-cache-shards", "8"},                       // no -serve/-batch/-registry: silently ignored otherwise
+		{"-compile", "o.snap", "-cache-shards", "4"}, // serving knob, not an epoch property
 	} {
 		if err := run(args, strings.NewReader(""), &out, &errOut); err == nil {
 			t.Errorf("args %v accepted, want a flag-conflict error", args)

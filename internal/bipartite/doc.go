@@ -1,0 +1,10 @@
+// Package bipartite implements bipartite graphs with an explicit
+// (V1, V2) partition and the correspondence of Definition 2 between
+// bipartite graphs and hypergraphs: H¹G has the nodes of V1 and one edge
+// per V2 node (its V1-neighbourhood), H²G symmetrically; the incidence
+// graph construction inverts the correspondence.
+//
+// In the relational reading used throughout the paper, V1 holds the
+// attributes and V2 the relation schemes, so H¹G is the database scheme
+// hypergraph.
+package bipartite

@@ -1,0 +1,231 @@
+// Package cache implements the sharded LRU map behind core.Service's
+// answer cache.
+//
+// A Cache is a fixed set of independent shards — each owning its own
+// mutex, hash table and LRU list — selected by an FNV-1a hash of the key.
+// Under a single global lock every cache hit serializes on the same mutex,
+// so a warm high-QPS serving path spends its time queueing rather than
+// answering; splitting the key space lets concurrent lookups of different
+// keys proceed on different locks, while lookups of the *same* key still
+// meet on one shard (which is what gives the Service its in-flight
+// deduplication).
+//
+// Shard counts are rounded up to a power of two so shard selection is a
+// mask, not a modulo. With one shard the Cache degenerates to exactly the
+// classic single-lock LRU: one table, one recency list, capacity enforced
+// globally — callers that need the v1 eviction order byte-for-byte (or a
+// deterministic test) ask for Shards(1).
+//
+// # Capacity rounding
+//
+// The requested capacity is divided across shards with ceiling division
+// and a floor of one entry per shard: New(capacity, shards) gives every
+// shard max(1, ⌈capacity/shards⌉) entries. The effective total — reported
+// by Capacity() — is therefore rounded *up* to a multiple of the shard
+// count, never down: a cache asked for 10 entries over 8 shards holds up
+// to 16, and a cache asked for 1 entry over 64 shards holds up to 64.
+// A shard is never silently given zero capacity, which would turn every
+// lookup that lands on it into a miss-insert-evict cycle that can never
+// hit.
+//
+// Eviction is LRU per shard, not global: capacity pressure on one shard
+// evicts that shard's least-recently-used entry even if a colder entry
+// lives elsewhere. For the uniformly-hashed keys the Service feeds it
+// (canonical terminal-set fingerprints) the difference from global LRU is
+// noise; the win is that no lookup ever touches another shard's lock.
+package cache
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxDefaultShards caps DefaultShards: beyond 64 ways the lock is no
+// longer the bottleneck and the per-shard capacity floor starts inflating
+// small caches.
+const MaxDefaultShards = 64
+
+// DefaultShards is the shard count used when the caller does not choose
+// one: GOMAXPROCS rounded up to a power of two, capped at
+// MaxDefaultShards. One shard per runnable goroutine is enough to make
+// lock collisions rare without fragmenting the capacity of small caches.
+func DefaultShards() int {
+	n := ceilPow2(runtime.GOMAXPROCS(0))
+	if n > MaxDefaultShards {
+		n = MaxDefaultShards
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the nearest power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Cache is a sharded string-keyed LRU map. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[V comparable] struct {
+	mask     uint64
+	perShard int
+	// evictions counts entries dropped by capacity pressure across all
+	// shards; atomic so Evictions never takes a shard lock.
+	evictions atomic.Uint64
+	shards    []shard[V]
+}
+
+// shard is one independently locked slice of the key space. The trailing
+// pad keeps neighbouring shards' mutexes off one cache line — the whole
+// point of sharding is that two cores hitting different shards do not
+// ping-pong a line between them.
+type shard[V comparable] struct {
+	mu    sync.Mutex
+	table map[string]*list.Element
+	order *list.List // front = most recently used; values are *entry[V]
+	_     [64]byte
+}
+
+// entry is one resident key/value pair, held by the shard's LRU list.
+type entry[V comparable] struct {
+	key string
+	val V
+}
+
+// New returns a Cache holding at least capacity entries split over the
+// given number of shards. shards is rounded up to a power of two;
+// non-positive selects DefaultShards. capacity is clamped to a minimum of
+// one entry and divided across shards by ceiling division with a floor of
+// one entry per shard (see the package comment for the rounding rule), so
+// the effective Capacity may exceed the request but never falls below it.
+func New[V comparable](capacity, shards int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	shards = ceilPow2(shards)
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache[V]{
+		mask:     uint64(shards - 1),
+		perShard: perShard,
+		shards:   make([]shard[V], shards),
+	}
+	for i := range c.shards {
+		c.shards[i].table = make(map[string]*list.Element, perShard)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// shardFor hashes key (FNV-1a, 64-bit) and masks it onto a shard.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return &c.shards[h&c.mask]
+}
+
+// GetOrAdd returns the value cached under key with hit=true, refreshing
+// its recency — or, when key is absent, inserts the value produced by
+// newf and returns it with hit=false, evicting the shard's
+// least-recently-used entry if the insert pushes the shard over capacity.
+// The lookup-or-insert is atomic with respect to the key's shard: of any
+// number of concurrent callers with the same absent key, exactly one runs
+// newf and the rest observe its value as a hit. newf runs with the shard
+// lock held and must not call back into the Cache.
+func (c *Cache[V]) GetOrAdd(key string, newf func() V) (v V, hit bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.table[key]; ok {
+		s.order.MoveToFront(e)
+		v = e.Value.(*entry[V]).val
+		s.mu.Unlock()
+		return v, true
+	}
+	v = newf()
+	s.table[key] = s.order.PushFront(&entry[V]{key: key, val: v})
+	if s.order.Len() > c.perShard {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.table, oldest.Value.(*entry[V]).key)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	return v, false
+}
+
+// Remove drops key iff it is still mapped to v and reports whether it
+// did. The identity check makes removal safe against the ABA race where a
+// capacity eviction plus re-insert replaced the caller's entry with a
+// fresh one between its insert and its Remove: the fresh entry survives.
+// Removals are deliberate (not capacity pressure) and are not counted by
+// Evictions.
+func (c *Cache[V]) Remove(key string, v V) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.table[key]; ok && e.Value.(*entry[V]).val == v {
+		s.order.Remove(e)
+		delete(s.table, key)
+		return true
+	}
+	return false
+}
+
+// Len returns the total number of resident entries, summed across shards.
+// Each shard is locked briefly in turn, so the sum is not an atomic
+// point-in-time snapshot under concurrent writes — fine for monitoring,
+// which is its job.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Occupancy returns the number of resident entries per shard, in shard
+// order. Uniformly distributed keys should fill shards about evenly; a
+// heavily skewed occupancy means the key space is not hashing well.
+func (c *Cache[V]) Occupancy() []int {
+	occ := make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		occ[i] = s.order.Len()
+		s.mu.Unlock()
+	}
+	return occ
+}
+
+// Shards returns the shard count (always a power of two).
+func (c *Cache[V]) Shards() int { return len(c.shards) }
+
+// PerShard returns the per-shard entry capacity (always ≥ 1).
+func (c *Cache[V]) PerShard() int { return c.perShard }
+
+// Capacity returns the effective total capacity, Shards() × PerShard() —
+// at least the capacity requested of New, rounded up to a multiple of the
+// shard count.
+func (c *Cache[V]) Capacity() int { return len(c.shards) * c.perShard }
+
+// Evictions returns how many entries capacity pressure has dropped across
+// all shards since construction. Conditional Removes are not counted.
+func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }

@@ -13,6 +13,7 @@ import (
 type config struct {
 	workers      int  // service: ConnectBatch pool size (<=0: GOMAXPROCS)
 	cacheSize    int  // service: LRU capacity (<=0: DefaultCacheSize)
+	cacheShards  int  // service: cache lock shards (<=0: cache.DefaultShards)
 	exactLimit   int  // connector: exact-solver dispatch threshold
 	maxTerminals int  // connector: per-query terminal budget (0: unlimited)
 	v1Only       bool // connector: reject V2 terminal ids
@@ -27,8 +28,21 @@ type Option func(*config)
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithCacheSize bounds the service's LRU answer cache. Non-positive
-// selects DefaultCacheSize.
+// selects DefaultCacheSize. The capacity is split across the cache's lock
+// shards by ceiling division with a floor of one entry per shard, so the
+// effective capacity (CacheStats.Capacity) rounds up to a multiple of the
+// shard count and is never silently below the request.
 func WithCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
+
+// WithCacheShards sets how many independently locked shards the service's
+// answer cache is split into; n is rounded up to a power of two.
+// Non-positive selects the default, GOMAXPROCS rounded up to a power of
+// two and capped at 64. More shards cut lock contention on a warm
+// high-QPS cache; WithCacheShards(1) restores the exact single-lock
+// global-LRU semantics of v1 (useful when eviction order must be
+// deterministic). Answers are identical at any shard count — only lock
+// granularity and the eviction victim under capacity pressure change.
+func WithCacheShards(n int) Option { return func(c *config) { c.cacheShards = n } }
 
 // WithExactLimit sets the largest terminal count dispatched to the exact
 // Dreyfus–Wagner solver on schemes without a polynomial guarantee; larger

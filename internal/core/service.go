@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -10,18 +9,21 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/intset"
 )
 
 // Service serves minimal-connection queries over one compiled scheme to
 // concurrent callers. It adds two things to a Connector:
 //
-//   - an LRU answer cache keyed on the canonical terminal set (intset.Key)
-//     plus the per-query options that change the answer: the scheme is
-//     frozen at construction, so an answer never goes stale and repeated or
-//     overlapping workloads — the paper's interactive disambiguation loop
-//     re-asks mostly-identical queries — become cache hits instead of
-//     Steiner reruns;
+//   - a sharded LRU answer cache (internal/cache) keyed on the canonical
+//     terminal set (intset.Key) plus the per-query options that change the
+//     answer: the scheme is frozen at construction, so an answer never goes
+//     stale and repeated or overlapping workloads — the paper's interactive
+//     disambiguation loop re-asks mostly-identical queries — become cache
+//     hits instead of Steiner reruns. Each shard has its own lock, so a
+//     warm high-QPS path does not serialize every hit on one mutex; with
+//     WithCacheShards(1) the cache is exactly the classic single-lock LRU;
 //   - ConnectBatch, which fans a batch out over a bounded worker pool.
 //
 // Identical queries arriving concurrently are deduplicated in flight: one
@@ -31,40 +33,47 @@ import (
 // is evicted so the next caller retries with its own budget. All methods
 // are safe for concurrent use.
 type Service struct {
-	c        *Connector
-	workers  int
-	capacity int
+	c       *Connector
+	workers int
 
-	mu    sync.Mutex
-	cache map[string]*list.Element
-	order *list.List // front = most recently used; values are *cacheEntry
+	// cache maps option-fingerprinted canonical terminal sets to
+	// *cacheEntry values. Shard selection hashes the whole key, so
+	// concurrent lookups of distinct queries take distinct locks while
+	// concurrent lookups of the same query still meet on one shard — which
+	// is what makes the in-flight dedup below work.
+	cache *cache.Cache[*cacheEntry]
 
-	// Counters are atomics, not mu-guarded fields: Stats() is now a
+	// Counters are atomics, not lock-guarded fields: Stats() is a
 	// monitoring endpoint (/v1/stats) polled while queries are in flight,
-	// so reads must neither tear nor contend with the cache lock, and the
-	// bypass path can count itself without taking the lock at all.
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	bypasses  atomic.Uint64
+	// so reads must neither tear nor contend with the cache locks, and the
+	// bypass path can count itself without taking any lock at all.
+	// Evictions live on the cache itself, aggregated the same way.
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypasses atomic.Uint64
 }
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
-// and err are populated; waiters block on it outside the Service lock.
+// and err are populated; waiters block on it outside the shard lock. The
+// key lives in the cache's own entry; this side only needs the payload.
 type cacheEntry struct {
-	key  string
 	done chan struct{}
 	conn Connection
 	err  error
 }
 
 // DefaultCacheSize is the answer-cache capacity used when NewService is
-// not given a positive WithCacheSize.
+// not given a positive WithCacheSize. The capacity is split across the
+// cache shards by ceiling division with a floor of one entry per shard
+// (see internal/cache), so the effective capacity is never silently below
+// the request.
 const DefaultCacheSize = 1024
 
 // NewService wraps a Connector for concurrent serving. Recognized options:
 // WithWorkers bounds the ConnectBatch pool (default GOMAXPROCS),
-// WithCacheSize bounds the answer cache (default DefaultCacheSize).
+// WithCacheSize bounds the answer cache (default DefaultCacheSize),
+// WithCacheShards sets the cache's lock-shard count (default GOMAXPROCS
+// rounded up to a power of two, at most 64).
 func NewService(c *Connector, opts ...Option) *Service {
 	var cfg config
 	for _, o := range opts {
@@ -77,11 +86,9 @@ func NewService(c *Connector, opts ...Option) *Service {
 		cfg.cacheSize = DefaultCacheSize
 	}
 	return &Service{
-		c:        c,
-		workers:  cfg.workers,
-		capacity: cfg.cacheSize,
-		cache:    make(map[string]*list.Element, cfg.cacheSize),
-		order:    list.New(),
+		c:       c,
+		workers: cfg.workers,
+		cache:   cache.New[*cacheEntry](cfg.cacheSize, cfg.cacheShards),
 	}
 }
 
@@ -115,12 +122,11 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 	}
 	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
 	for {
-		s.mu.Lock()
-		if e, ok := s.cache[key]; ok {
-			s.order.MoveToFront(e)
+		ent, hit := s.cache.GetOrAdd(key, func() *cacheEntry {
+			return &cacheEntry{done: make(chan struct{})}
+		})
+		if hit {
 			s.hits.Add(1)
-			ent := e.Value.(*cacheEntry)
-			s.mu.Unlock()
 			select {
 			case <-ent.done:
 			case <-ctx.Done():
@@ -137,21 +143,13 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 			return ent.conn, ent.err
 		}
 		s.misses.Add(1)
-		ent := &cacheEntry{key: key, done: make(chan struct{})}
-		s.cache[key] = s.order.PushFront(ent)
-		if s.order.Len() > s.capacity {
-			oldest := s.order.Back()
-			s.order.Remove(oldest)
-			delete(s.cache, oldest.Value.(*cacheEntry).key)
-			s.evictions.Add(1)
-		}
-		s.mu.Unlock()
 
-		// Compute outside the lock; the Connector is concurrency-safe.
-		// Errors are cached too: for a frozen scheme they are as
-		// deterministic as answers (e.g. disconnected terminals stay
-		// disconnected) — except cancellation, which is a property of this
-		// call's context, not of the query, and is uncached below.
+		// Compute outside the shard lock; the Connector is
+		// concurrency-safe. Errors are cached too: for a frozen scheme
+		// they are as deterministic as answers (e.g. disconnected
+		// terminals stay disconnected) — except cancellation, which is a
+		// property of this call's context, not of the query, and is
+		// uncached below.
 		completed := false
 		defer func() {
 			if completed {
@@ -162,15 +160,17 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 			// blocked on done forever; the panic itself keeps propagating
 			// to this caller.
 			ent.err = fmt.Errorf("core: Connect panicked for cache key %q", key)
-			s.evict(key, ent)
+			s.cache.Remove(key, ent)
 			close(ent.done)
 		}()
 		ent.conn, ent.err = s.c.connectValidated(ctx, terminals, q)
 		completed = true
 		if isCtxErr(ent.err) {
 			// Evict before closing done: waiters observing a cancellation
-			// outcome must find the key absent when they retry.
-			s.evict(key, ent)
+			// outcome must find the key absent when they retry. Remove is
+			// conditional on entry identity, so a concurrent capacity
+			// eviction plus re-insert is never clobbered.
+			s.cache.Remove(key, ent)
 		}
 		close(ent.done)
 		return ent.conn, ent.err
@@ -180,17 +180,6 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 // isCtxErr reports whether err is a cancellation outcome.
 func isCtxErr(err error) bool {
 	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
-}
-
-// evict removes the entry for key iff it is still ent (a concurrent
-// capacity eviction plus re-insert may have replaced it).
-func (s *Service) evict(key string, ent *cacheEntry) {
-	s.mu.Lock()
-	if e, ok := s.cache[key]; ok && e.Value.(*cacheEntry) == ent {
-		s.order.Remove(e)
-		delete(s.cache, key)
-	}
-	s.mu.Unlock()
 }
 
 // BatchResult is one answer of ConnectBatch, at the index of its query.
@@ -238,24 +227,36 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 type CacheStats struct {
 	Hits      uint64 // lookups that found an entry (including in-flight)
 	Misses    uint64 // lookups that started a computation
-	Evictions uint64 // entries dropped by LRU capacity pressure
+	Evictions uint64 // entries dropped by LRU capacity pressure, all shards
 	Bypasses  uint64 // queries answered around the cache (WithCacheBypass)
 	Entries   int    // entries currently resident (including in-flight)
+	Shards    int    // lock shards (WithCacheShards; always a power of two)
+	Capacity  int    // effective capacity: per-shard capacity × Shards
+	// ShardEntries is the per-shard resident-entry count, in shard order
+	// (sums to Entries). Uniform traffic should fill shards about evenly;
+	// persistent skew means the key space is hashing badly.
+	ShardEntries []int
 }
 
 // Stats returns current cache counters. A hit counts any lookup that found
 // an entry, including one still in flight. Counters are read atomically so
 // a monitoring poll never blocks on (or tears against) in-flight queries;
-// only the resident-entry count takes the cache lock.
+// only the per-shard occupancy walk takes each shard lock, briefly and one
+// at a time.
 func (s *Service) Stats() CacheStats {
-	s.mu.Lock()
-	entries := s.order.Len()
-	s.mu.Unlock()
+	occ := s.cache.Occupancy()
+	entries := 0
+	for _, n := range occ {
+		entries += n
+	}
 	return CacheStats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
-		Bypasses:  s.bypasses.Load(),
-		Entries:   entries,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Evictions:    s.cache.Evictions(),
+		Bypasses:     s.bypasses.Load(),
+		Entries:      entries,
+		Shards:       s.cache.Shards(),
+		Capacity:     s.cache.Capacity(),
+		ShardEntries: occ,
 	}
 }

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BenchmarkServeHotParallel measures the warm serving path — every query
+// a cache hit — at high goroutine parallelism across shard counts. This
+// is the workload the sharded cache exists for: with one shard every hit
+// serializes on a single mutex and throughput flatlines as cores are
+// added; sharding lets hits on distinct keys proceed on distinct locks.
+// Compare ns/op across the shards=1/8/64 sub-benchmarks on a multi-core
+// machine (on one core the lock is uncontended and they tie).
+func BenchmarkServeHotParallel(b *testing.B) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(7))
+	scheme := gen.RandomTree(r, 200) // connected, (6,2)-chordal: cheap warmup
+	conn := core.New(scheme)
+
+	// A hot working set of distinct cached answers, large enough that 64
+	// shards all see traffic and small enough to stay fully resident.
+	const hotKeys = 256
+	queries := make([][]int, hotKeys)
+	for i := range queries {
+		queries[i] = distinctTerms(r, scheme.N(), 3)
+	}
+
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			svc := core.NewService(conn, core.WithCacheSize(4096), core.WithCacheShards(shards))
+			for _, q := range queries { // warm: the benchmark loop only hits
+				if _, err := svc.Connect(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// 64-way parallelism regardless of GOMAXPROCS, so the
+			// lock-contention difference shows on any multi-core box.
+			if p := 64 / runtime.GOMAXPROCS(0); p > 1 {
+				b.SetParallelism(p)
+			}
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Stagger goroutines across the key space so concurrent
+				// lookups mostly touch distinct keys (and thus, when
+				// sharded, distinct locks).
+				i := next.Add(hotKeys / 4)
+				for pb.Next() {
+					q := queries[i%hotKeys]
+					i++
+					if _, err := svc.Connect(ctx, q); err != nil {
+						b.Error(err) // Fatal must not be called off the main goroutine
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if st := svc.Stats(); st.Misses > hotKeys {
+				b.Fatalf("hot set fell out of cache: %+v", st)
+			}
+		})
+	}
+}

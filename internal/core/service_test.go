@@ -61,7 +61,9 @@ func TestServiceCacheCountsAndEviction(t *testing.T) {
 	ctx := context.Background()
 	b := fixtures.Fig3b()
 	conn := core.New(b)
-	svc := core.NewService(conn, core.WithWorkers(1), core.WithCacheSize(2)) // capacity 2 forces eviction
+	// One shard: the test pins *global* LRU counting and eviction, which
+	// only a single-shard cache guarantees (capacity 2 forces eviction).
+	svc := core.NewService(conn, core.WithWorkers(1), core.WithCacheSize(2), core.WithCacheShards(1))
 	q1 := b.G().IDs("A", "C")
 	q2 := b.G().IDs("A", "B")
 	q3 := b.G().IDs("B", "C")
@@ -97,7 +99,9 @@ func TestServiceCacheCountsAndEviction(t *testing.T) {
 func TestServiceLRUEvictionOrder(t *testing.T) {
 	ctx := context.Background()
 	b := fixtures.Fig3b()
-	svc := core.NewService(core.New(b), core.WithCacheSize(2))
+	// One shard: eviction order is only globally-LRU when one list holds
+	// every entry.
+	svc := core.NewService(core.New(b), core.WithCacheSize(2), core.WithCacheShards(1))
 	q1 := b.G().IDs("A", "C")
 	q2 := b.G().IDs("A", "B")
 	q3 := b.G().IDs("B", "C")
@@ -298,8 +302,15 @@ func TestServiceConcurrentHammer(t *testing.T) {
 	if st.Hits+st.Misses+st.Bypasses != goroutines*50 {
 		t.Errorf("lookup accounting off: %+v", st)
 	}
-	if st.Entries > 16 {
+	if st.Entries > st.Capacity {
 		t.Errorf("capacity exceeded under load: %+v", st)
+	}
+	sum := 0
+	for _, n := range st.ShardEntries {
+		sum += n
+	}
+	if sum != st.Entries || len(st.ShardEntries) != st.Shards {
+		t.Errorf("per-shard occupancy inconsistent: %+v", st)
 	}
 }
 

@@ -1,15 +1,3 @@
-// Package graph implements the undirected-graph substrate used throughout
-// the library.
-//
-// A Graph is a finite undirected simple graph (Definition 1 of the paper
-// restricted to 2-node edges) over dense integer node ids, each carrying a
-// string label. All derived structures of the paper — bipartite graphs,
-// hypergraph incidence graphs, primal (Gaifman) graphs, Steiner covers —
-// are built on this type.
-//
-// Node ids are assigned consecutively from 0 by AddNode, so ids can index
-// plain slices; labels give stable human-readable names for fixtures and
-// CLI output.
 package graph
 
 import (

@@ -1,0 +1,30 @@
+// Package httpd serves the core.Registry over HTTP: the first
+// multi-process surface of the repository. The handler speaks a small JSON
+// protocol that reuses the v2 query contract end to end — per-request
+// deadlines (a timeout_ms field on top of the request context),
+// load-shedding through the schemes' WithMaxTerminals budget and a bounded
+// in-flight limiter, and the typed error taxonomy of internal/core mapped
+// onto HTTP status codes (see errorStatus in wire.go).
+//
+// Endpoints:
+//
+//	POST   /v1/connect                  one minimal-connection query
+//	POST   /v1/batch                    many queries against one scheme, in order
+//	POST   /v1/interpretations          ranked alternative readings of a query
+//	GET    /v1/schemes                  the registered schemes and their classes
+//	GET    /v1/stats                    per-scheme answer-cache counters
+//	GET    /v1/schemes/{name}/snapshot  download the compiled epoch (binary)
+//	PUT    /v1/schemes/{name}           upload-and-swap a scheme (snapshot or text)
+//	DELETE /v1/schemes/{name}           drop a scheme from the catalog
+//
+// The last three are the live admin trio: a Registry can be populated,
+// snapshotted and pruned over the wire without restarting the process.
+// Uploads are atomic compile-and-swap (Registry semantics): in-flight
+// queries finish on the old epoch. A snapshot body (sniffed by its
+// "CHRDSNAP" magic) installs with zero recompilation; any other body is
+// parsed as the graphio bipartite text format and compiled live.
+//
+// Because every answer is produced by the same Service/Connector stack the
+// in-process API uses, a wire answer is bit-for-bit the in-process answer;
+// equivalence_test.go holds the handler to that over randomized schemes.
+package httpd

@@ -306,6 +306,25 @@ func TestSchemesAndStats(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
 		t.Fatalf("payroll stats = %+v, want 1 miss / 1 hit / 1 entry", st)
 	}
+	// Sharded-cache geometry travels the wire: a power-of-two shard
+	// count, effective capacity ≥ the default, and per-shard occupancy
+	// that sums to the entry count.
+	if st.Shards < 1 || st.Shards&(st.Shards-1) != 0 {
+		t.Fatalf("wire shards = %d, want a power of two", st.Shards)
+	}
+	if st.Capacity < core.DefaultCacheSize {
+		t.Fatalf("wire capacity = %d, want ≥ default %d", st.Capacity, core.DefaultCacheSize)
+	}
+	if len(st.ShardEntries) != st.Shards {
+		t.Fatalf("shard_entries has %d slots for %d shards", len(st.ShardEntries), st.Shards)
+	}
+	sum := 0
+	for _, n := range st.ShardEntries {
+		sum += n
+	}
+	if sum != st.Entries {
+		t.Fatalf("shard_entries sums to %d, entries = %d", sum, st.Entries)
+	}
 }
 
 func TestMethodNotAllowed(t *testing.T) {

@@ -1,0 +1,9 @@
+// Package intset provides a compact sorted-slice set of ints.
+//
+// Hypergraph edges, node neighbourhoods and cover node-sets throughout the
+// library are represented as intset.Set values: sorted, duplicate-free
+// []int slices. The representation is deterministic (iteration order is
+// value order), cheap to hash into strings for map keys, and supports the
+// set algebra (union, intersection, difference, subset) that the paper's
+// hypergraph definitions are written in.
+package intset

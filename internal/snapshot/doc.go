@@ -1,0 +1,51 @@
+// Package snapshot persists compiled scheme epochs: the frozen CSR graph
+// (internal/graph), the bipartite partition (internal/bipartite) and the
+// chordality classification (internal/chordality) travel as one versioned,
+// checksummed, little-endian binary catalog file, so a process can boot a
+// large Registry without re-running Freeze+Classify on any scheme.
+//
+// # File layout (version 1)
+//
+// Every multi-byte integer is little-endian. The file is a fixed header, a
+// section table, and 8-byte-aligned section payloads:
+//
+//	offset  size  field
+//	0       8     magic "CHRDSNAP"
+//	8       2     format version (uint16, currently 1)
+//	10      2     reserved (0)
+//	12      4     section count (uint32)
+//	16      8     total file size in bytes (uint64)
+//	24      4     CRC-32C of bytes [0,24) ++ [28,size) (uint32)
+//	28      4     reserved (0)
+//	32      24×k  section table: id u32, reserved u32, offset u64, length u64
+//
+// Sections (unknown ids are ignored for forward compatibility; all of the
+// following are required except the matrix):
+//
+//	id  section    payload
+//	1   meta       n u32, flags u32 (bit0: matrix present), stride u32,
+//	               reserved u32, m u64
+//	2   offsets    (n+1) int32 — CSR row starts
+//	3   neighbors  2m int32 — concatenated sorted adjacency lists
+//	4   matrix     n×stride uint64 — dense adjacency bitset (optional)
+//	5   sides      n bytes — graph.Side per node (1 or 2)
+//	6   labels     n u32, then n×(len u32), then the concatenated label bytes
+//	7   class      1 byte — the 7 chordality verdicts, bit 0 = (4,1)-chordal
+//	               … bit 6 = V2-conformal (chordality.Class field order)
+//
+// Because sections start on 8-byte boundaries, the hot arrays — offsets,
+// neighbors, matrix — decode zero-copy on little-endian hosts: the byte
+// runs are reinterpreted in place (the layout is mmap-able), with a safe
+// copying fallback when the buffer is misaligned or the host is big-endian.
+// Label strings are always copied (Go strings own their bytes).
+//
+// # Integrity
+//
+// Decode verifies the magic, version, declared size and CRC-32C before
+// touching any section, then validates every structural invariant a real
+// Freeze output satisfies (monotone offsets, sorted symmetric in-range
+// adjacency, bipartite sides, distinct labels). Failures are typed:
+// ErrNotSnapshot, ErrUnsupportedVersion, ErrChecksum, ErrCorrupt — all
+// errors.Is-testable. A decoded snapshot therefore either behaves exactly
+// like a live compile or never comes into existence.
+package snapshot

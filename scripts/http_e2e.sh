@@ -39,9 +39,11 @@ edge x r
 edge y r
 EOF
 
+# -cache-shards is pinned so the per-shard occupancy in /v1/stats is
+# machine-independent (the default shard count tracks GOMAXPROCS).
 "$WORK/chordalctl" -serve 127.0.0.1:0 \
   -registry "library=$WORK/library.txt,tiny=$WORK/tiny.txt" \
-  -max-terminals 5 > "$WORK/server.log" 2>&1 &
+  -max-terminals 5 -cache-shards 4 > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the announced listen address.

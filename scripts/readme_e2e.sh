@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Front-door drift guard: extract the quickstart commands from the root
+# README.md — the sh fence right after the "readme-e2e" marker comment —
+# and execute them verbatim (build, classify, serve + one curl, one
+# snapshot compile + boot). If the README's commands rot, this job fails;
+# there is no second copy of the commands to fall out of sync.
+#
+# Usage: scripts/readme_e2e.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SNIPPET=$(awk '
+  /<!-- readme-e2e:/ { marked = 1; next }
+  marked && /^```sh$/ { infence = 1; next }
+  infence && /^```$/ { exit }
+  infence { print }
+' README.md)
+
+[ -n "$SNIPPET" ] || { echo "readme_e2e: no marked quickstart fence found in README.md" >&2; exit 1; }
+
+echo "--- executing README quickstart:"
+printf '%s\n' "$SNIPPET"
+echo "---"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+OUT="$WORK/quickstart.out"
+
+bash -euo pipefail -c "$SNIPPET" 2>&1 | tee "$OUT"
+
+# The commands ran; now hold their output to what the README promises.
+grep -q 'Steiner trees solvable exactly in polynomial time' "$OUT" ||
+  { echo "readme_e2e: classification output missing the Theorem 5 guarantee" >&2; exit 1; }
+grep -q 'method=algorithm-2' "$OUT" ||
+  { echo "readme_e2e: batch query did not answer via Algorithm 2" >&2; exit 1; }
+grep -q '"method":"algorithm-2"' "$OUT" ||
+  { echo "readme_e2e: HTTP answer missing from quickstart output" >&2; exit 1; }
+grep -q '"labels":\["reader","book","author","borrows","wrote"\]' "$OUT" ||
+  { echo "readme_e2e: HTTP answer does not connect reader-author through book" >&2; exit 1; }
+grep -Eq 'scheme "library" \(epoch 1' "$OUT" ||
+  { echo "readme_e2e: snapshot boot did not describe the library scheme" >&2; exit 1; }
+
+echo "readme e2e OK"

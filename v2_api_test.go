@@ -143,3 +143,47 @@ func TestFacadeForcedMethod(t *testing.T) {
 		t.Error("forced heuristic must not claim optimality")
 	}
 }
+
+// TestFacadeCacheShards pins WithCacheShards through the facade: the
+// shard count and effective capacity land in CacheStats, per-shard
+// occupancy reconciles with the entry count, and answers are unchanged.
+func TestFacadeCacheShards(t *testing.T) {
+	ctx := context.Background()
+	b, ids := libraryScheme()
+	svc := chordal.Open(b, chordal.WithCacheShards(4), chordal.WithCacheSize(10))
+
+	want, err := chordal.Open(b, chordal.WithCacheShards(1)).Connect(ctx, []int{ids["reader"], ids["author"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Connect(ctx, []int{ids["reader"], ids["author"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tree.Nodes.Equal(want.Tree.Nodes) || got.Method != want.Method {
+		t.Errorf("sharded answer differs: %+v vs %+v", got, want)
+	}
+	if _, err := svc.Connect(ctx, []int{ids["author"], ids["reader"]}); err != nil {
+		t.Fatal(err) // canonicalized: a cache hit
+	}
+
+	st := svc.Stats()
+	if st.Shards != 4 {
+		t.Errorf("shards = %d, want 4", st.Shards)
+	}
+	// Capacity 10 over 4 shards rounds up: ceil(10/4)=3 per shard, 12
+	// effective — never silently down.
+	if st.Capacity != 12 {
+		t.Errorf("capacity = %d, want 12 (10 rounded up across 4 shards)", st.Capacity)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache accounting through the facade off: %+v", st)
+	}
+	sum := 0
+	for _, n := range st.ShardEntries {
+		sum += n
+	}
+	if sum != st.Entries || len(st.ShardEntries) != st.Shards {
+		t.Errorf("per-shard occupancy inconsistent: %+v", st)
+	}
+}
