@@ -25,9 +25,17 @@
 //
 //	chordalctl [-hypergraph] [-json] [file]
 //	chordalctl -compile out.snap [-hypergraph] [file]
-//	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [file]
+//	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d] [-cache-shards n]
-//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [file]
+//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
+//
+// -cpuprofile and -memprofile write pprof profiles of a serving run:
+// the CPU profile spans scheme compilation through the last answer (for
+// -serve, until graceful shutdown), and the heap profile is taken at
+// exit after a final GC, so it shows the live set — pooled solver
+// scratch, compiled views, cached answers — not transient garbage. Both
+// flags require -batch or -serve; profiling a bare describe or -compile
+// run would mostly measure file parsing.
 //
 // -cache-shards splits each scheme's answer cache into n independently
 // locked shards (rounded up to a power of two; default: GOMAXPROCS, at
@@ -61,6 +69,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -97,9 +106,10 @@ func (e *batchError) Error() string {
 }
 
 // run implements the tool; factored out of main for tests.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error) {
 	hyper, jsonOut, verbose := false, false, false
 	batch, registry, serve, compile := "", "", "", ""
+	cpuprofile, memprofile := "", ""
 	workers := 0
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
 	maxTerminals := 0
@@ -159,6 +169,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				return fmt.Errorf("-cache-shards: count must be >= 1 (rounded up to a power of two)")
 			}
 			cacheShards = n
+		case "-cpuprofile", "--cpuprofile":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-cpuprofile needs an output file argument")
+			}
+			cpuprofile = args[i]
+		case "-memprofile", "--memprofile":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-memprofile needs an output file argument")
+			}
+			memprofile = args[i]
 		case "-batch", "--batch":
 			i++
 			if i >= len(args) {
@@ -230,6 +252,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// so no answer cache) is ever built there, and a silently ignored
 		// tuning flag is worse than an error.
 		return fmt.Errorf("-cache-shards is a serving knob; it requires -serve, -batch or -registry")
+	}
+	if (cpuprofile != "" || memprofile != "") && serve == "" && batch == "" {
+		// Covers describe/-json/-compile and batch-less -registry: none of
+		// them runs the solver hot paths worth profiling.
+		return fmt.Errorf("-cpuprofile/-memprofile profile a serving run; they require -batch or -serve")
+	}
+	if cpuprofile != "" || memprofile != "" {
+		stop, err := startProfiles(cpuprofile, memprofile)
+		if err != nil {
+			return err
+		}
+		// The batch paths return non-nil for per-query failures; profiles
+		// of partially failed batches are still valid, so only surface a
+		// profile-write error when the run itself succeeded.
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
 	}
 	if compile != "" {
 		switch {
@@ -340,6 +381,49 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	describeScheme(stdout, core.New(b, schemeOpts...))
 	return nil
+}
+
+// startProfiles begins CPU profiling (when cpuFile is non-empty) and
+// returns a stop function that ends it and writes the heap profile (when
+// memFile is non-empty). The heap dump follows a forced GC so it reports
+// the retained live set — compiled frozen views, pooled solver scratch,
+// cached answers — rather than collectable garbage.
+func startProfiles(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpu = f
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // readScheme reads a bipartite graph, or a hypergraph rendered as its

@@ -335,3 +335,43 @@ func TestServeFlagConflicts(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBatchProfiles(t *testing.T) {
+	dir := t.TempDir()
+	qpath := filepath.Join(dir, "queries.txt")
+	if err := os.WriteFile(qpath, []byte("A C\nA B C\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errOut bytes.Buffer
+	args := []string{"-batch", qpath, "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args, strings.NewReader(fig3cInput), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestProfileFlagConflicts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-cpuprofile", "c.pprof"},                       // no -batch/-serve: nothing hot to profile
+		{"-memprofile", "m.pprof", "-json"},              // same for describe/-json
+		{"-compile", "o.snap", "-cpuprofile", "c.pprof"}, // compile is not a serving run
+		{"-registry", "a=b", "-memprofile", "m.pprof"},   // batch-less registry only describes
+		{"-batch", "q.txt", "-cpuprofile"},               // missing argument
+		{"-batch", "q.txt", "-memprofile"},               // missing argument
+	} {
+		if err := run(args, strings.NewReader(""), &out, &errOut); err == nil {
+			t.Errorf("args %v accepted, want a flag-conflict error", args)
+		}
+	}
+}

@@ -114,13 +114,29 @@ func (f *Frozen) HypergraphV2() Correspondence {
 // connected-component mask this equals Induced(component).HypergraphV1() up
 // to the id mapping, without building the induced copy.
 func (f *Frozen) HypergraphV1Alive(alive []bool) Correspondence {
-	return f.hypergraphSide(graph.Side1, alive)
+	if alive == nil {
+		return f.hypergraphSide(graph.Side1, nil)
+	}
+	return f.hypergraphSide(graph.Side1, func(v int) bool { return alive[v] })
+}
+
+// HypergraphV1AliveBits is HypergraphV1Alive over a packed graph.Bits
+// alive mask — the representation the word-parallel solver kernels
+// (internal/steiner) keep their masks in, so Algorithm 1's frozen path
+// never expands a mask back into []bool. alive == nil means all nodes.
+// Results are identical to HypergraphV1Alive on the unpacked mask.
+func (f *Frozen) HypergraphV1AliveBits(alive graph.Bits) Correspondence {
+	if alive == nil {
+		return f.hypergraphSide(graph.Side1, nil)
+	}
+	return f.hypergraphSide(graph.Side1, alive.Has)
 }
 
 // hypergraphSide builds the Definition 2 hypergraph whose nodes are the
 // (alive) nodes of side s and whose edges are the (alive) neighbourhoods of
-// the other side's nodes. EdgeToV2 then holds other-side node ids.
-func (f *Frozen) hypergraphSide(s graph.Side, alive []bool) Correspondence {
+// the other side's nodes (alive == nil: every node). EdgeToV2 then holds
+// other-side node ids.
+func (f *Frozen) hypergraphSide(s graph.Side, alive func(int) bool) Correspondence {
 	nodes, edges := f.v1, f.v2
 	if s == graph.Side2 {
 		nodes, edges = f.v2, f.v1
@@ -129,7 +145,7 @@ func (f *Frozen) hypergraphSide(s graph.Side, alive []bool) Correspondence {
 	v1ToNode := map[int]int{}
 	var nodeToV1 []int
 	for _, v := range nodes {
-		if alive != nil && !alive[v] {
+		if alive != nil && !alive(v) {
 			continue
 		}
 		v1ToNode[v] = h.AddNode(f.g.Label(v))
@@ -138,12 +154,12 @@ func (f *Frozen) hypergraphSide(s graph.Side, alive []bool) Correspondence {
 	var edgeToV2 []int
 	members := make([]int, 0, 16)
 	for _, w := range edges {
-		if alive != nil && !alive[w] {
+		if alive != nil && !alive(w) {
 			continue
 		}
 		members = members[:0]
 		for _, v := range f.g.Neighbors(w) {
-			if alive != nil && !alive[v] {
+			if alive != nil && !alive(int(v)) {
 				continue
 			}
 			members = append(members, v1ToNode[int(v)])

@@ -181,10 +181,17 @@ func (c *Connector) connect(ctx context.Context, terminals []int, q queryConfig)
 // connectValidated is connect minus the boundary checks — the entry point
 // for Service, which validates once itself before consulting the cache.
 func (c *Connector) connectValidated(ctx context.Context, terminals []int, q queryConfig) (Connection, error) {
+	return c.connectShared(ctx, terminals, q, nil)
+}
+
+// connectShared is connectValidated with precomputed batch-planner work
+// threaded through to the solvers (sh may be nil). Answers are identical
+// with or without sh; the Shared only removes repeated BFS floods.
+func (c *Connector) connectShared(ctx context.Context, terminals []int, q queryConfig, sh *steiner.Shared) (Connection, error) {
 	if err := ctx.Err(); err != nil {
 		return Connection{}, err
 	}
-	conn, err := c.dispatch(ctx, terminals, q)
+	conn, err := c.dispatch(ctx, terminals, q, sh)
 	if err != nil {
 		return Connection{}, err
 	}
@@ -198,37 +205,45 @@ func (c *Connector) connectValidated(ctx context.Context, terminals []int, q que
 	return conn, nil
 }
 
+// resolveMethod folds MethodAuto down to the concrete solver the
+// classification selects for this terminal count — shared by dispatch and
+// the batch planner (which must predict the solver to know whether
+// precomputed distance rows will be used).
+func (c *Connector) resolveMethod(q queryConfig, nTerminals int) Method {
+	m := q.method
+	if m != MethodAuto {
+		return m
+	}
+	exactLimit := q.exactLimit
+	if exactLimit <= 0 {
+		exactLimit = c.cfg.exactLimit
+	}
+	// Clamp to the solver's hard cap so a generous WithExactLimit keeps
+	// its contract: queries the exact solver would refuse fall back to
+	// the heuristic instead of failing with ErrTooManyTerminals.
+	if exactLimit > steiner.ExactTerminalLimit {
+		exactLimit = steiner.ExactTerminalLimit
+	}
+	switch {
+	case c.class.Chordal62:
+		return MethodAlgorithm2
+	case c.class.AlphaV1():
+		return MethodAlgorithm1
+	case nTerminals <= exactLimit:
+		return MethodExact
+	default:
+		return MethodHeuristic
+	}
+}
+
 // dispatch picks the solver — by classification for MethodAuto, as forced
 // otherwise — and stamps the guarantee flags the scheme's class actually
 // supports (a forced method never claims an optimality the class does not
-// prove).
-func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig) (Connection, error) {
-	m := q.method
-	if m == MethodAuto {
-		exactLimit := q.exactLimit
-		if exactLimit <= 0 {
-			exactLimit = c.cfg.exactLimit
-		}
-		// Clamp to the solver's hard cap so a generous WithExactLimit keeps
-		// its contract: queries the exact solver would refuse fall back to
-		// the heuristic instead of failing with ErrTooManyTerminals.
-		if exactLimit > steiner.ExactTerminalLimit {
-			exactLimit = steiner.ExactTerminalLimit
-		}
-		switch {
-		case c.class.Chordal62:
-			m = MethodAlgorithm2
-		case c.class.AlphaV1():
-			m = MethodAlgorithm1
-		case len(terminals) <= exactLimit:
-			m = MethodExact
-		default:
-			m = MethodHeuristic
-		}
-	}
-	switch m {
+// prove). sh, when non-nil, supplies precomputed batch work to the solvers.
+func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig, sh *steiner.Shared) (Connection, error) {
+	switch m := c.resolveMethod(q, len(terminals)); m {
 	case MethodAlgorithm2:
-		tree, err := steiner.Algorithm2Frozen(ctx, c.fb.G(), terminals)
+		tree, err := steiner.Algorithm2FrozenShared(ctx, c.fb.G(), terminals, sh)
 		if err != nil {
 			return Connection{}, err
 		}
@@ -238,7 +253,7 @@ func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig
 			// (6,2)-chordal ⟹ (6,1)-chordal ⟹ V1-chordal ∧ V1-conformal
 			// (Corollary 2), Algorithm 1 also applies here: use it to certify
 			// (or refute) V2-minimality of the Theorem 5 tree.
-			if t1, err1 := steiner.Algorithm1Frozen(ctx, c.fb, terminals); err1 == nil {
+			if t1, err1 := steiner.Algorithm1FrozenShared(ctx, c.fb, terminals, sh); err1 == nil {
 				conn.V2Optimal = steiner.V2CountFrozen(c.fb, tree) == steiner.V2CountFrozen(c.fb, t1)
 			} else if err := ctx.Err(); err != nil {
 				return Connection{}, err
@@ -249,7 +264,7 @@ func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig
 		}
 		return conn, nil
 	case MethodAlgorithm1:
-		tree, err := steiner.Algorithm1Frozen(ctx, c.fb, terminals)
+		tree, err := steiner.Algorithm1FrozenShared(ctx, c.fb, terminals, sh)
 		if err != nil {
 			return Connection{}, err
 		}
@@ -261,7 +276,7 @@ func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig
 		}
 		return conn, nil
 	case MethodExact:
-		tree, err := steiner.ExactFrozen(ctx, c.fb.G(), terminals)
+		tree, err := steiner.ExactFrozenShared(ctx, c.fb.G(), terminals, sh)
 		if err != nil {
 			if errors.Is(err, steiner.ErrTooManyTerminals) {
 				return Connection{}, fmt.Errorf("%w: %d terminals exceed the exact solver's hard limit of %d",
@@ -274,7 +289,7 @@ func (c *Connector) dispatch(ctx context.Context, terminals []int, q queryConfig
 			Rationale: fmt.Sprintf("no chordality guarantee: exact search over %d terminals (exponential, Theorem 2 forbids better in general)", len(terminals)),
 		}, nil
 	case MethodHeuristic:
-		tree, err := steiner.ApproximateFrozen(ctx, c.fb.G(), terminals)
+		tree, err := steiner.ApproximateFrozenShared(ctx, c.fb.G(), terminals, sh)
 		if err != nil {
 			return Connection{}, err
 		}

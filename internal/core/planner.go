@@ -1,0 +1,129 @@
+package core
+
+// The batch planner: before ConnectBatch fans queries out to its worker
+// pool, queries whose terminal sets intersect are grouped (union-find over
+// terminal ids), because they provably share BFS work — they lie in the
+// same connected components, and overlapping terminal sets reuse the same
+// distance rows. Each group gets one steiner.Shared, built lazily by the
+// first worker whose query actually misses the answer cache (a fully warm
+// batch never floods anything), then read by every other query of the
+// group. Sharing is read-only after the sync.Once build, so the existing
+// bounded worker pool needs no extra synchronization, and answers remain
+// bit-for-bit those of per-query computation (asserted by
+// TestConnectBatchPlannerEquivalence).
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/steiner"
+)
+
+// batchGroup is one planner group: the distinct terminal ids of a set of
+// queries connected through shared terminals, plus the lazily built Shared.
+type batchGroup struct {
+	terms    []int // distinct terminal ids across the group's queries
+	queries  int   // how many queries landed in this group
+	withRows bool  // some query dispatches to the heuristic → rows pay off
+
+	once sync.Once
+	sh   *steiner.Shared
+}
+
+// shared returns the group's Shared, building it on first call. A build
+// cut short by ctx leaves sh nil — the solvers then just compute locally
+// (and observe the same cancelled ctx themselves).
+func (g *batchGroup) shared(ctx context.Context, c *Connector) *steiner.Shared {
+	g.once.Do(func() {
+		sh := steiner.NewShared(c.fb.G())
+		if err := sh.Precompute(ctx, g.terms, g.withRows); err != nil {
+			return
+		}
+		g.sh = sh
+	})
+	return g.sh
+}
+
+// batchPlan maps each query index of a batch to its group, or nil for
+// queries that share no terminal with any other (a singleton gains nothing
+// from precomputation — the solver would flood exactly once anyway).
+type batchPlan struct {
+	groups []*batchGroup // by query index; nil = no shared work
+}
+
+// group returns query i's group or nil.
+func (p *batchPlan) group(i int) *batchGroup {
+	if p == nil {
+		return nil
+	}
+	return p.groups[i]
+}
+
+// planBatch groups the batch's queries by shared terminals. Returns nil
+// when no two queries share a terminal (including every batch of size < 2).
+func planBatch(c *Connector, queries [][]int, q queryConfig) *batchPlan {
+	if len(queries) < 2 {
+		return nil
+	}
+	// Union-find over query indices, joined whenever two queries name the
+	// same terminal id.
+	parent := make([]int, len(queries))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := make(map[int]int) // terminal id → first query index naming it
+	joined := false
+	for i, ts := range queries {
+		for _, t := range ts {
+			j, ok := owner[t]
+			if !ok {
+				owner[t] = i
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				parent[ri] = rj
+				joined = true
+			} else if i != j {
+				joined = true // duplicate sets still share work
+			}
+		}
+	}
+	if !joined {
+		return nil
+	}
+	byRoot := make(map[int]*batchGroup)
+	groups := make([]*batchGroup, len(queries))
+	for i, ts := range queries {
+		r := find(i)
+		g := byRoot[r]
+		if g == nil {
+			g = &batchGroup{}
+			byRoot[r] = g
+		}
+		g.queries++
+		if c.resolveMethod(q, len(ts)) == MethodHeuristic {
+			g.withRows = true
+		}
+		groups[i] = g
+	}
+	// Each distinct terminal id joins its group's precompute list once.
+	for t, i := range owner {
+		g := byRoot[find(i)]
+		g.terms = append(g.terms, t)
+	}
+	// Drop singleton groups: no second query, nothing to share.
+	for i, g := range groups {
+		if g.queries < 2 {
+			groups[i] = nil
+		}
+	}
+	return &batchPlan{groups: groups}
+}

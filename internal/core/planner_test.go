@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/intset"
+)
+
+// plannerBatch builds a batch whose queries overlap on a small hub of
+// terminals, so the planner groups most of them, plus a few isolated
+// queries that must stay ungrouped.
+func plannerBatch(r *rand.Rand, n, count int) [][]int {
+	hub := r.Perm(n)[:3]
+	var queries [][]int
+	for i := 0; i < count; i++ {
+		q := []int{hub[i%3]}
+		if i%3 != 2 {
+			q = append(q, hub[(i+1)%3])
+		}
+		q = append(q, r.Perm(n)[:2]...)
+		queries = append(queries, intset.FromSlice(q)) // distinct, sorted
+	}
+	return queries
+}
+
+// TestConnectBatchPlannerEquivalence holds the batch planner to the
+// bit-for-bit contract: answers computed through a group's shared
+// component masks and distance rows must equal independent Connect calls
+// on a planner-free connector — including errors (disconnected terminal
+// sets flow through the shared component mask too).
+func TestConnectBatchPlannerEquivalence(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(41))
+	schemes := map[string]*bipartite.Graph{
+		"tree":    gen.RandomTree(r, 120),                                    // (6,2)-chordal → Algorithm 2
+		"acyclic": bipartite.FromHypergraph(gen.AlphaAcyclic(r, 24, 4, 3)).B, // α-acyclic → Algorithm 1
+		"sparse":  gen.RandomBipartite(r, 16, 16, 0.12),                      // components → Exact / errors
+		"dense":   gen.RandomBipartite(r, 18, 18, 0.35),                      // likely unclassified → Exact
+	}
+	for name, b := range schemes {
+		svc := core.Open(b)
+		ref := core.New(b) // independent, planner-free reference
+		queries := plannerBatch(r, b.N(), 12)
+		results := svc.ConnectBatch(ctx, queries)
+		for i, res := range results {
+			want, wantErr := ref.Connect(ctx, queries[i])
+			if (res.Err == nil) != (wantErr == nil) {
+				t.Fatalf("%s query %v: error mismatch: batch %v, reference %v", name, queries[i], res.Err, wantErr)
+			}
+			if wantErr != nil {
+				if res.Err.Error() != wantErr.Error() {
+					t.Fatalf("%s query %v: different errors: batch %v, reference %v", name, queries[i], res.Err, wantErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res.Conn, want) {
+				t.Fatalf("%s query %v: batch answer differs from reference:\nbatch     %+v\nreference %+v", name, queries[i], res.Conn, want)
+			}
+		}
+	}
+}
+
+// TestConnectBatchPlannerHeuristic drives the planner down the heuristic
+// dispatch (many terminals, no chordality guarantee), the one path that
+// consumes shared distance rows, and checks equivalence there too.
+func TestConnectBatchPlannerHeuristic(t *testing.T) {
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(43))
+	b := gen.RandomBipartite(r, 30, 30, 0.25)
+	svc := core.Open(b, core.WithExactLimit(2))
+	ref := core.New(b, core.WithExactLimit(2))
+	hub := intset.FromSlice(r.Perm(b.N())[:6])
+	var queries [][]int
+	for i := 0; i < 8; i++ {
+		q := append([]int(nil), hub...)
+		q = append(q, r.Perm(b.N())[:3]...)
+		queries = append(queries, intset.FromSlice(q))
+	}
+	results := svc.ConnectBatch(ctx, queries)
+	for i, res := range results {
+		want, wantErr := ref.Connect(ctx, queries[i])
+		if (res.Err == nil) != (wantErr == nil) ||
+			(wantErr != nil && res.Err.Error() != wantErr.Error()) {
+			t.Fatalf("query %v: error mismatch: batch %v, reference %v", queries[i], res.Err, wantErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(res.Conn, want) {
+			t.Fatalf("query %v: batch answer differs from reference", queries[i])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/intset"
+	"repro/internal/steiner"
 )
 
 // Service serves minimal-connection queries over one compiled scheme to
@@ -107,7 +108,21 @@ func (s *Service) SaveSnapshot(w io.Writer) error { return s.c.WriteSnapshot(w) 
 // collides with the default answer. WithCacheBypass skips the cache in
 // both directions.
 func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOption) (Connection, error) {
-	q := newQueryConfig(opts)
+	return s.connectWith(ctx, terminals, newQueryConfig(opts), nil)
+}
+
+// connectWith is Connect after option folding, with an optional provider of
+// batch-planner shared work. The provider is consulted only when a query
+// actually computes (cache miss or bypass), so a warm batch never builds
+// its Shared at all.
+func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfig, shared func() *steiner.Shared) (Connection, error) {
+	compute := func(ctx context.Context) (Connection, error) {
+		var sh *steiner.Shared
+		if shared != nil {
+			sh = shared()
+		}
+		return s.c.connectShared(ctx, terminals, q, sh)
+	}
 	// Validate before touching the cache: invalid queries are cheap to
 	// reject and must not occupy cache capacity.
 	if err := s.c.Validate(terminals); err != nil {
@@ -118,7 +133,7 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 	}
 	if q.bypassCache {
 		s.bypasses.Add(1)
-		return s.c.connectValidated(ctx, terminals, q)
+		return compute(ctx)
 	}
 	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
 	for {
@@ -163,7 +178,7 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 			s.cache.Remove(key, ent)
 			close(ent.done)
 		}()
-		ent.conn, ent.err = s.c.connectValidated(ctx, terminals, q)
+		ent.conn, ent.err = compute(ctx)
 		completed = true
 		if isCtxErr(ent.err) {
 			// Evict before closing done: waiters observing a cancellation
@@ -192,13 +207,18 @@ type BatchResult struct {
 // ConnectBatch answers all queries concurrently on at most workers
 // goroutines and returns the results in query order; opts apply to every
 // query of the batch. Duplicate terminal sets inside one batch are
-// computed once via the cache. Once ctx is done the remaining queries
-// fail fast with its error.
+// computed once via the cache. Queries that share terminals are grouped by
+// the batch planner (planner.go) so the group's component masks and
+// distance rows are flooded once and read by every member — the answers
+// are bit-for-bit those of independent Connect calls. Once ctx is done the
+// remaining queries fail fast with its error.
 func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...QueryOption) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
 	}
+	q := newQueryConfig(opts)
+	plan := planBatch(s.c, queries, q)
 	workers := s.workers
 	if workers > len(queries) {
 		workers = len(queries)
@@ -210,7 +230,11 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				conn, err := s.Connect(ctx, queries[i], opts...)
+				var shared func() *steiner.Shared
+				if g := plan.group(i); g != nil {
+					shared = func() *steiner.Shared { return g.shared(ctx, s.c) }
+				}
+				conn, err := s.connectWith(ctx, queries[i], q, shared)
 				out[i] = BatchResult{Terminals: queries[i], Conn: conn, Err: err}
 			}
 		}()

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Kernel benchmarks: the same traversal on the matrix-backed wave kernel
+// and on the CSR fallback, over a dense random graph. These are part of
+// the pinned trajectory set (scripts/bench_trajectory.sh): the matrix/csr
+// ratio is the whole point of compiling the adjacency matrix.
+
+// benchGraphs builds a dense n-node graph and returns its matrix-backed
+// and matrix-less frozen views.
+func benchGraphs(tb testing.TB, n int, p float64) (matrix, csr *Frozen) {
+	r := rand.New(rand.NewSource(991))
+	g := randomGraph(r, n, p)
+	fm := g.Freeze()
+	if !fm.HasMatrix() {
+		tb.Fatalf("n=%d: expected a compiled matrix", n)
+	}
+	return fm, csrView(tb, fm)
+}
+
+func BenchmarkKernelBFSDistances(b *testing.B) {
+	fm, fc := benchGraphs(b, 1024, 0.05)
+	dist := make([]int32, fm.N())
+	for _, bc := range []struct {
+		name string
+		f    *Frozen
+	}{{"matrix", fm}, {"csr", fc}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := NewBitScratch(bc.f.N())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.f.BFSDistancesBits(i%bc.f.N(), nil, dist, sc)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelReachesAll(b *testing.B) {
+	fm, fc := benchGraphs(b, 1024, 0.05)
+	n := fm.N()
+	targets := NewBits(n)
+	for v := 0; v < n; v += 97 {
+		targets.Set(v)
+	}
+	alive := NewBits(n)
+	alive.FillN(n)
+	for _, bc := range []struct {
+		name string
+		f    *Frozen
+	}{{"matrix", fm}, {"csr", fc}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := NewBitScratch(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.f.ReachesAll(i%n, alive, targets, sc)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelComponentBits(b *testing.B) {
+	fm, fc := benchGraphs(b, 1024, 0.05)
+	seeds := []int{3, 500, 900}
+	for _, bc := range []struct {
+		name string
+		f    *Frozen
+	}{{"matrix", fm}, {"csr", fc}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := NewBitScratch(bc.f.N())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.f.ComponentBits(seeds, sc)
+			}
+		})
+	}
+}
+
+// TestBitKernelSpeedupDense pins the acceptance bar of the word-parallel
+// kernels: on a dense matrix-backed scheme the wave kernel must beat the
+// CSR walk by at least 2×. The measurement retries a few times before
+// failing so a noisy scheduler tick cannot flake the suite; the steady
+// ratio on a 1024-node dense graph is far above the bar.
+func TestBitKernelSpeedupDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	fm, fc := benchGraphs(t, 1024, 0.05)
+	n := fm.N()
+	dist := make([]int32, n)
+	scm, scc := NewBitScratch(n), NewBitScratch(n)
+	starts := rand.New(rand.NewSource(17)).Perm(n)[:16]
+	matrixOp := func() {
+		for _, s := range starts {
+			fm.BFSDistancesBits(s, nil, dist, scm)
+		}
+	}
+	csrOp := func() {
+		for _, s := range starts {
+			fc.BFSDistancesBits(s, nil, dist, scc)
+		}
+	}
+	measure := func(op func()) time.Duration {
+		op() // warm caches
+		reps := 1
+		for {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				op()
+			}
+			if el := time.Since(start); el > 40*time.Millisecond {
+				return el / time.Duration(reps)
+			}
+			reps *= 2
+		}
+	}
+	const attempts = 3
+	var tm, tc time.Duration
+	for a := 0; a < attempts; a++ {
+		tm, tc = measure(matrixOp), measure(csrOp)
+		if tc >= 2*tm {
+			t.Logf("matrix %v vs csr %v per sweep (%.1fx)", tm, tc, float64(tc)/float64(tm))
+			return
+		}
+	}
+	t.Fatalf("matrix kernel not 2x faster than CSR walk: matrix %v, csr %v", tm, tc)
+}

@@ -6,8 +6,14 @@ package graph
 // they never write to the Frozen.
 
 // BFSDistances returns the unweighted distance from start to every node,
-// with -1 for unreachable nodes.
+// with -1 for unreachable nodes. On matrix-backed schemes it runs the
+// word-parallel wave kernel (BFSDistancesBits); otherwise the CSR walk.
 func (f *Frozen) BFSDistances(start int) []int32 {
+	if f.matrix != nil {
+		dist := make([]int32, f.N())
+		f.BFSDistancesBits(start, nil, dist, NewBitScratch(f.N()))
+		return dist
+	}
 	return f.BFSDistancesAlive(start, nil)
 }
 
@@ -88,10 +94,18 @@ func (f *Frozen) TerminalsConnected(alive []bool, terminals []int) bool {
 
 // ComponentMask returns the alive mask of the connected component
 // containing every seed, or nil when the seeds span several components (or
-// seeds is empty).
+// seeds is empty). On matrix-backed schemes the flood runs word-parallel
+// (ComponentBits); otherwise it falls back to a CSR BFS.
 func (f *Frozen) ComponentMask(seeds []int) []bool {
 	if len(seeds) == 0 {
 		return nil
+	}
+	if f.matrix != nil {
+		mask, ok := f.ComponentBits(seeds, NewBitScratch(f.N()))
+		if !ok {
+			return nil
+		}
+		return mask.ToBools(make([]bool, f.N()))
 	}
 	dist := f.BFSDistances(seeds[0])
 	for _, s := range seeds {

@@ -15,4 +15,19 @@
 //     the paper proves NP-hardness.
 //   - The paper's two NP-hardness reductions (Theorem 2's X3C gadget, Fig 6,
 //     and the CSPC gadget of the remarks after Corollary 4, Fig 9).
+//
+// Each solver has a frozen port (Algorithm2Frozen, ExactFrozen, ...) that
+// runs on the immutable graph.Frozen view: connectivity probes and BFS go
+// through the bit-parallel wave kernels when the view carries a compiled
+// adjacency matrix (falling back to CSR walks otherwise), and all
+// per-query scratch — alive/terminal masks, distance rows, the flat
+// Dreyfus–Wagner tables — is drawn from a sync.Pool. The *Into variants
+// (Algorithm2FrozenInto, ...) additionally reuse the caller's Tree
+// capacity, making steady-state queries allocation-free. Frozen answers
+// are bit-for-bit identical to the mutable path, errors included.
+//
+// Shared captures batch-level reusable work (terminal component masks and
+// BFS distance rows): build one with NewShared + Precompute, then pass it
+// to the *FrozenShared entry points from any number of concurrent
+// queries. A nil *Shared is always valid and means "no precomputed work".
 package steiner

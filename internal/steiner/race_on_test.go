@@ -1,0 +1,5 @@
+//go:build race
+
+package steiner_test
+
+const raceEnabled = true

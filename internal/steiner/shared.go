@@ -1,0 +1,109 @@
+package steiner
+
+// Shared is precomputed read-only work a batch of queries on one frozen
+// scheme can draw on: component masks and BFS distance rows keyed by
+// terminal id. The batch planner in internal/core groups queries that share
+// terminals, precomputes each group's work once, and hands the same Shared
+// to every solver call of the group — the solvers then copy a ready mask or
+// row instead of re-flooding the graph per query.
+//
+// Build protocol: construct with NewShared, call Precompute (any number of
+// times, single-goroutine), then share freely — after the last Precompute
+// every method is a read and safe for unsynchronized concurrent use. A nil
+// *Shared is valid everywhere and means "nothing precomputed".
+//
+// Answers drawn through a Shared are bit-for-bit those of the unshared
+// path: a component mask is the same flood ComponentBits runs, a distance
+// row the same BFSDistancesBits row (both are canonical — BFS distances and
+// component membership do not depend on traversal order).
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// Shared holds the precomputed per-component masks and per-terminal
+// distance rows for one frozen graph. See the package comment above for the
+// build/sharing protocol.
+type Shared struct {
+	fg     *graph.Frozen
+	compOf []int32         // node id → index into comps; -1 unknown
+	comps  []graph.Bits    // flooded component masks, owned
+	rows   map[int][]int32 // terminal id → BFS distance row, owned
+}
+
+// NewShared returns an empty Shared for fg. Solvers handed this Shared must
+// run on the same frozen view.
+func NewShared(fg *graph.Frozen) *Shared {
+	sh := &Shared{fg: fg, compOf: make([]int32, fg.N()), rows: map[int][]int32{}}
+	for i := range sh.compOf {
+		sh.compOf[i] = -1
+	}
+	return sh
+}
+
+// Precompute floods the connected component of every given terminal (ids
+// out of range are skipped — validation is the caller's boundary) and, when
+// withRows is set, its full BFS distance row. Work already present is not
+// redone, so interleaving Precompute calls for overlapping terminal sets is
+// cheap. Not safe for concurrent use with itself; see the build protocol.
+func (sh *Shared) Precompute(ctx context.Context, terminals []int, withRows bool) error {
+	bsc := graph.NewBitScratch(sh.fg.N())
+	for _, t := range terminals {
+		if t < 0 || t >= sh.fg.N() {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if sh.compOf[t] == -1 {
+			mask := graph.NewBits(sh.fg.N())
+			mask.CopyFrom(sh.fg.Reachable(t, nil, bsc))
+			idx := int32(len(sh.comps))
+			sh.comps = append(sh.comps, mask)
+			for _, v := range mask.AppendOnes(nil) {
+				sh.compOf[v] = idx
+			}
+		}
+		if withRows {
+			if _, ok := sh.rows[t]; !ok {
+				row := make([]int32, sh.fg.N())
+				sh.fg.BFSDistancesBits(t, nil, row, bsc)
+				sh.rows[t] = row
+			}
+		}
+	}
+	return nil
+}
+
+// component returns the precomputed component mask containing every
+// terminal. known reports whether this Shared can answer at all (the first
+// terminal's component was precomputed); a known nil mask means the
+// terminals provably span several components. The mask is shared and must
+// not be modified.
+func (sh *Shared) component(terminals []int) (mask graph.Bits, known bool) {
+	if sh == nil || len(terminals) == 0 {
+		return nil, false
+	}
+	t0 := terminals[0]
+	if t0 < 0 || t0 >= len(sh.compOf) || sh.compOf[t0] == -1 {
+		return nil, false
+	}
+	m := sh.comps[sh.compOf[t0]]
+	for _, t := range terminals {
+		if t < 0 || t >= len(sh.compOf) || !m.Has(t) {
+			return nil, true // known disconnected
+		}
+	}
+	return m, true
+}
+
+// row returns the precomputed BFS distance row of terminal t, or nil. The
+// row is shared and must not be modified.
+func (sh *Shared) row(t int) []int32 {
+	if sh == nil {
+		return nil
+	}
+	return sh.rows[t]
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Pinned benchmark trajectory: run the serving-path benchmarks every PR
+# cares about (mutable-vs-frozen solver cost, hot cache serving, batch
+# throughput, and the bit-parallel kernels against their CSR fallbacks)
+# and distill ns/op, B/op and allocs/op into a machine-readable JSON file
+# so perf changes leave a diffable trail next to the code.
+#
+# Usage: scripts/bench_trajectory.sh [out.json]
+#   BENCHTIME=2s scripts/bench_trajectory.sh   # longer, steadier runs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_pr6.json}
+BENCHTIME=${BENCHTIME:-0.5s}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# Each invocation pins one package's benchmark set; -run 'xxx' skips the
+# tests so only benchmarks execute.
+{
+  go test -run 'xxx' -bench 'BenchmarkSteinerMutableVsFrozen|BenchmarkServiceThroughput' \
+    -benchmem -benchtime "$BENCHTIME" -timeout 15m .
+  go test -run 'xxx' -bench 'BenchmarkServeHotParallel' \
+    -benchmem -benchtime "$BENCHTIME" -timeout 15m ./internal/core
+  go test -run 'xxx' -bench 'BenchmarkKernel' \
+    -benchmem -benchtime "$BENCHTIME" -timeout 15m ./internal/graph
+} | tee "$RAW"
+
+# Distill "BenchmarkX/sub-8  N  ns/op  B/op  allocs/op" lines into JSON.
+# The -<GOMAXPROCS> suffix is stripped so trajectories diff cleanly across
+# machines with different core counts.
+awk -v benchtime="$BENCHTIME" '
+  BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime }
+  /^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns  = $(i-1)
+      if ($i == "B/op")      bop = $(i-1)
+      if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (bop == "") bop = "null"
+    if (aop == "") aop = "null"
+    printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, bop, aop
+    sep = ",\n"; count++
+  }
+  END {
+    if (count == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "\n  ]\n}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo "bench_trajectory: wrote $(grep -c '"name"' "$OUT") benchmarks to $OUT"
