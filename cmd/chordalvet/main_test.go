@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the chordalvet binary once into a temp dir and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "chordalvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building chordalvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// badmodDir returns the absolute path of the seeded-violation module.
+func badmodDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// wantFindings are one expected diagnostic fragment per analyzer; the
+// badmod tree seeds at least one violation for each.
+var wantFindings = map[string]string{
+	"frozenwrite": "outside frozen.go",
+	"poolescape":  "never released",
+	"atomicstats": "accessed without its methods",
+	"errwrap":     "cuts the wrap chain",
+	"ctxfirst":    "root context in library code",
+	"hotalloc":    "hot path",
+}
+
+// TestStandaloneOverBadmod runs the standalone multichecker over the
+// known-bad module and checks every analyzer fires.
+func TestStandaloneOverBadmod(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = badmodDir(t)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("chordalvet ./... in badmod: want exit 1, got %v\n%s", err, stderr.Bytes())
+	}
+	out := stderr.String()
+	for name, fragment := range wantFindings {
+		if !strings.Contains(out, "("+name+")") || !strings.Contains(out, fragment) {
+			t.Errorf("no %s diagnostic (want fragment %q) in output:\n%s", name, fragment, out)
+		}
+	}
+}
+
+// TestStandaloneCleanPackage checks exit 0 and silence on a package with
+// no violations.
+func TestStandaloneCleanPackage(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./clean")
+	cmd.Dir = badmodDir(t)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("chordalvet ./clean: want exit 0, got %v\n%s", err, stderr.Bytes())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("clean package produced output:\n%s", stderr.String())
+	}
+}
+
+// TestHelpListsAnalyzers checks the help text names every analyzer.
+func TestHelpListsAnalyzers(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-help").Output()
+	if err != nil {
+		t.Fatalf("chordalvet -help: %v", err)
+	}
+	for name := range wantFindings {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("help output does not mention analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestVettoolOverBadmod drives the binary through `go vet -vettool`,
+// exercising the -V=full handshake and the unit.cfg protocol end to end.
+func TestVettoolOverBadmod(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = badmodDir(t)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() == 0 {
+		t.Fatalf("go vet -vettool over badmod: want failure, got %v\n%s", err, stderr.Bytes())
+	}
+	out := stderr.String()
+	for name, fragment := range wantFindings {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("go vet missing %s diagnostic (fragment %q):\n%s", name, fragment, out)
+		}
+	}
+}
+
+// TestVersionHandshake checks the -V=full line go vet caches on.
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("chordalvet -V=full: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	if !strings.Contains(line, " version ") || !strings.Contains(line, "buildID=") {
+		t.Errorf("-V=full output %q lacks the go vet tool-ID shape", line)
+	}
+}

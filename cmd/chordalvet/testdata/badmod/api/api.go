@@ -1,0 +1,16 @@
+// Package api seeds ctxfirst violations: an exported function taking
+// ctx second, and library code minting a root context.
+package api
+
+import "context"
+
+// Query takes its context after the key.
+func Query(key string, ctx context.Context) error { // seeded: ctxfirst (ctx not first)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Fire ignores its caller and makes a root context.
+func Fire() error {
+	return Query("k", context.Background()) // seeded: ctxfirst (root context)
+}

@@ -1,0 +1,23 @@
+// Package clean has no violations; the smoke test asserts chordalvet is
+// silent here.
+package clean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrEmpty is the package sentinel.
+var ErrEmpty = errors.New("empty")
+
+// Run wraps its errors and takes ctx first.
+func Run(ctx context.Context, key string) error {
+	if key == "" {
+		return fmt.Errorf("run: %w", ErrEmpty)
+	}
+	return ctx.Err()
+}
+
+// IsEmpty uses errors.Is as the analyzers demand.
+func IsEmpty(err error) bool { return errors.Is(err, ErrEmpty) }

@@ -1,0 +1,21 @@
+// Package errs seeds errwrap violations: an error formatted with %v and
+// a sentinel compared with ==.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing is the package sentinel.
+var ErrMissing = errors.New("missing")
+
+// Lookup formats its cause with %v, cutting the wrap chain.
+func Lookup(key string, cause error) error {
+	return fmt.Errorf("lookup %s: %v", key, cause) // seeded: errwrap (%v on error)
+}
+
+// IsMissing compares errors by identity.
+func IsMissing(err error) bool {
+	return err == ErrMissing // seeded: errwrap (== comparison)
+}

@@ -1,0 +1,8 @@
+package graph
+
+// Grow violates frozen immutability: it writes Frozen fields outside
+// frozen.go.
+func Grow(f *Frozen) {
+	f.M++                            // seeded: frozenwrite
+	f.Offsets = append(f.Offsets, 0) // seeded: frozenwrite
+}

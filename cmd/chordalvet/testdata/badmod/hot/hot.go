@@ -1,0 +1,12 @@
+//chordal:hotpath
+
+// Package hot seeds a hotalloc violation: fmt.Sprintf on an annotated
+// hot path.
+package hot
+
+import "fmt"
+
+// Key formats a cache key with Sprintf inside the hot path.
+func Key(a, b int) string {
+	return fmt.Sprintf("%d/%d", a, b) // seeded: hotalloc (Sprintf)
+}

@@ -1,0 +1,18 @@
+// Package pool seeds a poolescape violation: a sync.Pool Get with no
+// matching Put.
+package pool
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// Sum leaks a pooled buffer: no Put on any return path.
+func Sum(data []byte) int {
+	b := bufs.Get().(*[]byte) // seeded: poolescape (never released)
+	*b = append((*b)[:0], data...)
+	n := 0
+	for _, x := range *b {
+		n += int(x)
+	}
+	return n
+}

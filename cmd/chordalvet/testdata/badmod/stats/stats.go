@@ -1,0 +1,16 @@
+// Package stats seeds an atomicstats violation: a plain read of an
+// atomic counter field.
+package stats
+
+import "sync/atomic"
+
+// Counters mirrors the repository's service stats block.
+type Counters struct {
+	Hits atomic.Uint64
+}
+
+// Snapshot reads the counter without Load.
+func Snapshot(c *Counters) uint64 {
+	v := c.Hits // seeded: atomicstats (plain access)
+	return v.Load()
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +42,7 @@ func run(args []string, stdout io.Writer) (failed int, err error) {
 		if *only != "" && e.ID != *only {
 			continue
 		}
-		tb := e.Run()
+		tb := e.Run(context.Background())
 		if *markdown {
 			fmt.Fprint(stdout, tb.Markdown())
 		} else {

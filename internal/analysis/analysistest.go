@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the GOPATH-style fixture package testdata/src/<pkg>,
+// runs one analyzer over it and compares the diagnostics against the
+// fixture's `// want "regexp"` comments, x/tools-analysistest style:
+// every diagnostic must match a want on its line, every want must be
+// matched by a diagnostic. Fixture-local imports resolve from source
+// under testdata/src; everything else resolves through the toolchain's
+// export data.
+func RunFixture(t testing.TB, a *Analyzer, pkg string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := newFixtureLoader(root)
+	p, err := loader.load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	ds, err := runPackage(p, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkg, err)
+	}
+	sortDiagnostics(p.Fset, ds)
+	checkWants(t, p, ds)
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants reconciles diagnostics with the fixture's want comments.
+func checkWants(t testing.TB, p *Package, ds []Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "// "), "want ")
+				if !ok {
+					rest, ok = strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range parseWantPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range ds {
+		pos := p.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", k, w.re)
+			}
+		}
+	}
+}
+
+// parseWantPatterns extracts the double- or backquoted regexps from the
+// remainder of a want comment.
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWantPatterns(s string) []string {
+	var pats []string
+	for _, tok := range wantToken.FindAllString(s, -1) {
+		if p, err := strconv.Unquote(tok); err == nil {
+			pats = append(pats, p)
+		}
+	}
+	return pats
+}
+
+// fixtureLoader type-checks fixture packages rooted at a GOPATH-style
+// src directory, resolving non-fixture imports via toolchain export data.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+func newFixtureLoader(root string) *fixtureLoader {
+	l := &fixtureLoader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
+	}
+	return l
+}
+
+// load parses and type-checks testdata/src/<path> (recursively loading
+// fixture-local imports).
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+	sort.Strings(files)
+	if l.std == nil {
+		if err := l.initStdImporter(); err != nil {
+			return nil, err
+		}
+	}
+	p, err := typeCheck(l.fset, path, dir, files, fixtureImporter{l})
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// initStdImporter collects every non-fixture import reachable from the
+// fixture tree and resolves their export data with one go list call.
+func (l *fixtureLoader) initStdImporter() error {
+	std := make(map[string]bool)
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, statErr := os.Stat(filepath.Join(l.root, filepath.FromSlash(p))); statErr != nil {
+				std[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	paths := make([]string, 0, len(std))
+	for p := range std {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exportFile, err := listExportData(paths)
+	if err != nil {
+		return err
+	}
+	l.std = exportImporter(l.fset, exportFile)
+	return nil
+}
+
+// fixtureImporter resolves fixture-local imports from source and
+// delegates the rest to export data.
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(fi.l.root, filepath.FromSlash(path))); err == nil {
+		p, err := fi.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return fi.l.std.Import(path)
+}

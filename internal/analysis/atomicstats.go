@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicStats enforces the monitoring-counter contract: struct fields of
+// the sync/atomic wrapper types (atomic.Uint64, atomic.Int64, …) exist so
+// Stats-style endpoints can be polled while queries are in flight, which
+// only holds if every access goes through Load/Store/Add/CompareAndSwap.
+// A plain field read tears on 32-bit platforms and races everywhere; a
+// value copy silently forks the counter (and defeats the vet copylocks
+// check's intent even where it compiles).
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "flag sync/atomic-typed struct fields accessed without their methods:\n" +
+		"no plain reads, writes or value copies of atomic.Uint64/Int64/... fields",
+	Run: runAtomicStats,
+}
+
+// atomicWrapperNames are the sync/atomic struct wrapper types.
+var atomicWrapperNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+func runAtomicStats(pass *Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return
+			}
+			if !isAtomicWrapper(selection.Obj().Type()) {
+				return
+			}
+			if atomicUseAllowed(info, sel, stack) {
+				return
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s has atomic type %s but is accessed without its methods; use Load/Store/Add (plain access tears and races)",
+				sel.Sel.Name, types.TypeString(selection.Obj().Type(), shortQualifier))
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicWrapper reports whether t is one of sync/atomic's struct
+// wrapper types.
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicWrapperNames[obj.Name()]
+}
+
+// atomicUseAllowed reports whether the atomic field selection sel is in a
+// sanctioned position: receiver of one of its own methods, or operand of
+// &.
+func atomicUseAllowed(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			// x.f.Load(): the outer selection must be a method of the
+			// atomic type with x.f as its receiver.
+			if s, ok := info.Selections[parent]; ok && s.Kind() == types.MethodVal {
+				return true
+			}
+			return false
+		case *ast.UnaryExpr:
+			// &x.f: passing the counter by pointer keeps it atomic.
+			return parent.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicStats(t *testing.T) {
+	RunFixture(t, AtomicStats, "atomicstats/a")
+}

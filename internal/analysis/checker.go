@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"strings"
+)
+
+// Suite returns every chordalvet analyzer in presentation order. The
+// slice is freshly allocated; callers may filter it.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		FrozenWrite,
+		PoolEscape,
+		AtomicStats,
+		ErrWrap,
+		CtxFirst,
+		HotAlloc,
+	}
+}
+
+// RunPackages applies every analyzer to every package and returns the
+// combined diagnostics in file-position order. Analyzer errors (not
+// diagnostics — driver failures) abort the run.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
+	}
+	if fset != nil {
+		sortDiagnostics(fset, all)
+	}
+	return all, nil
+}
+
+// runPackage applies analyzers to a single loaded package. Test files
+// participate in type checking but are not analyzed: tests legitimately
+// use context.Background, compare errors for identity in assertions, and
+// hold pooled scratch across helper calls.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := pkg.Files[:0:0]
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	var ds []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d Diagnostic) { ds = append(ds, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return ds, nil
+}
+
+// Print writes diagnostics one per line as "file:line:col: message
+// (analyzer)" and reports whether any were written.
+func Print(w io.Writer, fset *token.FileSet, ds []Diagnostic) bool {
+	for _, d := range ds {
+		fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+	return len(ds) > 0
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the v2 API's context discipline. Two rules: exported
+// functions and methods that accept a context.Context take it as the
+// first parameter (the convention every caller of the facade, core,
+// steiner and httpd relies on), and library code never manufactures its
+// own root context with context.Background/context.TODO — deadlines and
+// cancellation flow in from the caller, so a synthesized root silently
+// detaches a solver from the request that is paying for it. Commands and
+// tests own their roots and are exempt.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "flag exported functions taking context.Context anywhere but first, and\n" +
+		"context.Background()/TODO() calls in library (non-main, non-test) code",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) (any, error) {
+	info := pass.TypesInfo
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n)
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				fn := calleeFunc(info, n)
+				if fn == nil {
+					return true
+				}
+				if name := fn.FullName(); name == "context.Background" || name == "context.TODO" {
+					pass.Reportf(n.Pos(),
+						"%s creates a root context in library code; accept a ctx from the caller (or derive via context.WithoutCancel) so deadlines propagate", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCtxPosition flags exported declarations whose context parameter is
+// not first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	params := obj.Signature().Params()
+	for i := 0; i < params.Len(); i++ {
+		if !isContextType(params.At(i).Type()) {
+			continue
+		}
+		if i > 0 {
+			pass.Reportf(params.At(i).Pos(),
+				"context.Context is parameter %d of exported %s; the v2 API convention is ctx first", i+1, fd.Name.Name)
+		}
+		return
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,43 @@
+// Package analysis is chordalvet: a suite of repo-invariant static
+// analyzers plus the small driver framework they run on.
+//
+// The repository rests on invariants no generic linter knows about: the
+// frozen CSR/bitset views are immutable after Freeze/Restore (concurrent
+// readers and zero-copy mapped snapshots depend on it), pooled solver
+// scratch never outlives its query (the zero-alloc hot path), Service
+// stats are atomics that must only be touched through their methods, the
+// typed error taxonomy must stay errors.Is/As-inspectable for httpd's
+// status mapping, and contexts flow caller→solver, never synthesized
+// mid-stack. Each analyzer here turns one of those reviewer-enforced
+// contracts into a lint failure.
+//
+// # Analyzers
+//
+//   - frozenwrite: no writes to graph.Frozen/bipartite.Frozen fields
+//     outside the constructor/restore files (frozen.go).
+//   - poolescape: every sync.Pool Get has a matching Put on the
+//     function's exits, and pooled values never escape via returns or
+//     stores.
+//   - atomicstats: sync/atomic-typed fields are accessed only through
+//     Load/Store/Add/..., never read plainly or copied by value.
+//   - errwrap: library fmt.Errorf calls embed errors with %w, and error
+//     comparisons go through errors.Is/As, never ==/switch.
+//   - ctxfirst: exported functions take context.Context first, and
+//     library code never calls context.Background/context.TODO.
+//   - hotalloc: files annotated //chordal:hotpath reject fmt formatting,
+//     zero-capacity append growth and interface boxing.
+//
+// A finding that is genuinely intentional is suppressed in place with a
+// `//chordal:allow <analyzer>` comment on the offending line.
+//
+// # Drivers
+//
+// The Analyzer/Pass/Diagnostic shapes mirror golang.org/x/tools/
+// go/analysis, but x/tools is not a dependency: Load resolves package
+// patterns with `go list -deps -export` and type-checks from source
+// against toolchain export data (standalone mode), RunVetTool speaks the
+// `go vet -vettool` unit protocol (-V=full, -flags, unit.cfg), and
+// RunFixture is the analysistest-style harness that checks testdata
+// fixtures against their `// want "regexp"` comments. cmd/chordalvet
+// front-ends the first two.
+package analysis

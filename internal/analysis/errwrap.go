@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrap enforces the typed-error taxonomy introduced with the v2 query
+// API: httpd's status mapping and every caller-side errors.Is/As check
+// depend on wrapped chains staying inspectable. Two things break them
+// silently: stringifying an embedded error with %v/%s (the chain is cut,
+// errors.Is stops matching) and comparing errors with == (wrapping makes
+// the comparison false even when the sentinel is present). The pass flags
+// fmt.Errorf calls that format an error value with any verb but %w, and
+// ==/!=/switch comparisons between non-nil error values.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "flag fmt.Errorf calls that embed an error without %w, and ==/!=/switch\n" +
+		"comparisons of non-nil errors that should be errors.Is/errors.As",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) (any, error) {
+	// Commands assemble one-shot messages for stderr; the taxonomy
+	// contract binds library packages.
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNonNilError(info, n.X) && isNonNilError(info, n.Y) {
+					pass.Reportf(n.Pos(), "errors compared with %s never match wrapped chains; use errors.Is (or errors.As for types)", n.Op)
+				}
+			case *ast.SwitchStmt:
+				checkErrorSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorfWrap flags fmt.Errorf arguments of type error formatted with
+// a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		t := info.Types[arg].Type
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c cuts the wrap chain; use %%w so errors.Is/As and httpd's status mapping keep working", verbs[i])
+		}
+	}
+}
+
+// checkErrorSwitch flags `switch err { case ErrFoo: }` shapes.
+func checkErrorSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isNonNilError(pass.TypesInfo, sw.Tag) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isNonNilError(pass.TypesInfo, e) {
+				pass.Reportf(e.Pos(), "switch on an error value never matches wrapped chains; use errors.Is in if/else")
+			}
+		}
+	}
+}
+
+// isNonNilError reports whether e is error-typed and not the nil literal.
+func isNonNilError(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// constantString resolves e to its constant string value.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a printf-style format. Width/precision stars consume an argument and
+// are recorded as '*'; explicit argument indexes are not modeled (rare,
+// and vet's printf owns full validation).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestErrWrap(t *testing.T) {
+	RunFixture(t, ErrWrap, "errwrap/a")
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+	}{
+		{"%v", "v"},
+		{"%w: %v", "wv"},
+		{"%d%%_%s", "ds"},
+		{"%+v %#x %6.2f", "vxf"},
+		{"%*d", "*d"},
+		{"plain", ""},
+	}
+	for _, c := range cases {
+		if got := string(formatVerbs(c.format)); got != c.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", c.format, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis so the passes read like (and
+// could later be ported to) standard vet analyzers; the x/tools module is
+// not a dependency of this repository, so the driver underneath is the
+// local Load/RunPackages pair instead of go/packages.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in //chordal:allow
+	// suppression comments. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the pass
+	// enforces, shown by `chordalvet help`.
+	Doc string
+
+	// Run applies the pass to one package and reports diagnostics via
+	// pass.Report. The result value is unused today (the field exists so
+	// passes keep the familiar signature).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The checker wires this; analyzers
+	// normally call Reportf instead.
+	Report func(Diagnostic)
+
+	// allowLines[filename] holds the lines carrying a
+	// "//chordal:allow <name>" comment for this analyzer.
+	allowLines map[string]map[int]bool
+}
+
+// A Diagnostic is one finding, positioned inside Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// Reportf reports a diagnostic at pos unless that source line carries a
+// "//chordal:allow <analyzer>" suppression comment.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether the line holding pos allows this analyzer.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.allowLines == nil {
+		p.allowLines = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			lines := make(map[int]bool)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//chordal:allow")
+					if !ok {
+						continue
+					}
+					for _, name := range strings.Fields(rest) {
+						if name == p.Analyzer.Name {
+							lines[p.Fset.Position(c.Pos()).Line] = true
+						}
+					}
+				}
+			}
+			p.allowLines[name] = lines
+		}
+	}
+	where := p.Fset.Position(pos)
+	return p.allowLines[where.Filename][where.Line]
+}
+
+// hotpathMarker is the file annotation consumed by the hotalloc pass: a
+// file containing this comment opts into allocation linting.
+const hotpathMarker = "//chordal:hotpath"
+
+// isHotpathFile reports whether f carries the //chordal:hotpath marker.
+func isHotpathFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == hotpathMarker || strings.HasPrefix(c.Text, hotpathMarker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgTail reports whether the package path's final segment equals tail —
+// true for both the real tree ("repro/internal/graph") and analysistest
+// fixtures ("graph"), so analyzers need no per-driver configuration.
+func pkgTail(pkg *types.Package, tail string) bool {
+	path := pkg.Path()
+	return path == tail || strings.HasSuffix(path, "/"+tail)
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// shortQualifier renders package-qualified type names with the package's
+// short name ("atomic.Uint64", not "sync/atomic.Uint64").
+func shortQualifier(p *types.Package) string { return p.Name() }
+
+// sortDiagnostics orders ds by file position for stable output.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Category < ds[j].Category
+	})
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// FrozenWrite enforces the immutability contract of the compiled CSR
+// views: after graph.Freeze / graph.RestoreFrozen (and the bipartite
+// equivalents) a Frozen is shared by any number of concurrent readers and
+// may alias a read-only mapped snapshot, so nothing may ever assign to,
+// append into, or copy over its fields. Construction-time writes are
+// confined to the packages' frozen.go files (Freeze and RestoreFrozen);
+// any other write site is a data race against concurrent queries at best
+// and a SIGBUS on an mmap'd snapshot at worst.
+var FrozenWrite = &Analyzer{
+	Name: "frozenwrite",
+	Doc: "flag writes to graph.Frozen/bipartite.Frozen fields outside the constructor/restore files;\n" +
+		"frozen CSR views are immutable, concurrently read, and may alias read-only mapped snapshots",
+	Run: runFrozenWrite,
+}
+
+// frozenConstructorFile is the one basename per package allowed to write
+// Frozen fields: it holds Freeze and RestoreFrozen.
+const frozenConstructorFile = "frozen.go"
+
+func runFrozenWrite(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if name == frozenConstructorFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkFrozenWrite(pass, lhs, "assignment to")
+				}
+			case *ast.IncDecStmt:
+				checkFrozenWrite(pass, n.X, "update of")
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, n, "copy") && len(n.Args) == 2 {
+					checkFrozenWrite(pass, n.Args[0], "copy into")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFrozenWrite reports when expr writes through a field of a frozen
+// view type.
+func checkFrozenWrite(pass *Pass, expr ast.Expr, how string) {
+	sel := baseSelector(expr)
+	if sel == nil {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if !namedIn(recv, "Frozen", "graph", "bipartite") {
+		return
+	}
+	obj := deref(recv).(*types.Named).Obj()
+	pass.Reportf(expr.Pos(),
+		"%s field %s.Frozen.%s outside %s: the frozen view is immutable after Freeze/Restore (concurrent readers, mapped snapshots)",
+		how, obj.Pkg().Name(), sel.Sel.Name, frozenConstructorFile)
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestFrozenWriteGraph(t *testing.T) {
+	RunFixture(t, FrozenWrite, "graph")
+}
+
+func TestFrozenWriteBipartite(t *testing.T) {
+	RunFixture(t, FrozenWrite, "bipartite")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	RunFixture(t, HotAlloc, "hotalloc/a")
+}

@@ -1,0 +1,405 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscape enforces the zero-alloc scratch contract: a value taken from
+// a sync.Pool (directly, or through a package-local acquire helper such
+// as steiner.getScratch) is owned by exactly one query between Get and
+// Put. Within each function the pass requires a matching release —
+// ideally deferred — and flags the two ways pooled memory outlives its
+// query: returning the pooled value (or one of its buffers) and storing
+// it into a struct field, map, slice element, package variable or
+// channel. A leaked buffer either pins memory (never returned to the
+// pool) or is recycled while still referenced, corrupting a later query.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "flag sync.Pool values that are taken without a matching Put on the function's exits,\n" +
+		"or that escape their owning function via returns or stores",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) (any, error) {
+	info := pass.TypesInfo
+	acquirers, releasers := classifyPoolHelpers(pass)
+	for _, f := range pass.Files {
+		funcScopes(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			// The acquire/release helpers themselves are the sanctioned
+			// wrappers around Get and Put.
+			if decl != nil {
+				if obj, _ := info.Defs[decl.Name].(*types.Func); obj != nil && (acquirers[obj] || releasers[obj]) {
+					return
+				}
+			}
+			checkPoolScope(pass, body, acquirers, releasers)
+		})
+	}
+	return nil, nil
+}
+
+// classifyPoolHelpers finds the package's acquire helpers (functions that
+// return a value obtained from a sync.Pool Get) and release helpers
+// (functions/methods that hand a parameter or their receiver to a
+// sync.Pool Put).
+func classifyPoolHelpers(pass *Pass) (acquirers, releasers map[*types.Func]bool) {
+	info := pass.TypesInfo
+	acquirers = make(map[*types.Func]bool)
+	releasers = make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			// Collect locals bound (possibly via type assertion) to a
+			// pool Get, and parameters/receiver objects.
+			got := make(map[types.Object]bool)
+			owned := make(map[types.Object]bool)
+			sig := obj.Signature()
+			if r := sig.Recv(); r != nil {
+				owned[r] = true
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				owned[sig.Params().At(i)] = true
+			}
+			walkScope(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if i < len(n.Lhs) && isPoolGet(info, rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok {
+								if o := objectOf(info, id); o != nil {
+									got[o] = true
+								}
+							}
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if isPoolGet(info, res) {
+							acquirers[obj] = true
+						} else if id, ok := ast.Unparen(res).(*ast.Ident); ok && got[objectOf(info, id)] {
+							acquirers[obj] = true
+						}
+					}
+				case *ast.CallExpr:
+					if arg, ok := poolPutArg(info, n); ok {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok && owned[objectOf(info, id)] {
+							releasers[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return acquirers, releasers
+}
+
+// checkPoolScope verifies one function body's acquisitions.
+func checkPoolScope(pass *Pass, body *ast.BlockStmt, acquirers, releasers map[*types.Func]bool) {
+	info := pass.TypesInfo
+
+	// Pass 1: find acquisitions — `v := pool.Get().(*T)` or
+	// `v := getScratch(n)` — keyed by the variable object.
+	type acquisition struct {
+		obj      types.Object
+		pos      ast.Node
+		released bool // some release call names it
+		deferred bool // ... via defer
+	}
+	var acqs []*acquisition
+	byObj := make(map[types.Object]*acquisition)
+	walkScope(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) {
+				break
+			}
+			if !isPoolGet(info, rhs) && !isAcquireCall(info, rhs, acquirers) {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(rhs.Pos(), "pooled value discarded at Get; it can never be returned to the pool")
+				continue
+			}
+			obj := objectOf(info, id)
+			if obj == nil || byObj[obj] != nil {
+				continue
+			}
+			a := &acquisition{obj: obj, pos: id}
+			acqs = append(acqs, a)
+			byObj[obj] = a
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Pass 2: find releases (pool.Put(v), v.release(), release(v)) and
+	// escapes (returns and stores of v or v.field).
+	releasedHere := func(n ast.Node, deferred bool) {
+		if obj := releaseTarget(info, n, releasers); obj != nil {
+			if a := byObj[obj]; a != nil {
+				a.released = true
+				if deferred {
+					a.deferred = true
+				}
+			}
+		}
+	}
+	pooledExpr := func(e ast.Expr) types.Object {
+		// v itself, or a selector/index rooted at v (a pooled buffer).
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if a := byObj[objectOf(info, x)]; a != nil {
+				return a.obj
+			}
+		default:
+			if sel := baseSelector(e); sel != nil {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if a := byObj[objectOf(info, id)]; a != nil {
+						return a.obj
+					}
+				}
+			}
+		}
+		return nil
+	}
+	walkScope(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			releasedHere(n.Call, true)
+		case *ast.CallExpr:
+			releasedHere(n, false)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := pooledExpr(res); obj != nil {
+					pass.Reportf(res.Pos(), "pooled %s escapes via return; the pool may recycle it under a later query", obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				obj := pooledExpr(rhs)
+				if obj == nil || i >= len(n.Lhs) {
+					continue
+				}
+				if storesBeyondScope(info, n.Lhs[i]) {
+					pass.Reportf(rhs.Pos(), "pooled %s stored beyond its query; it must stay function-local between Get and Put", obj.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := pooledExpr(v); obj != nil {
+					pass.Reportf(v.Pos(), "pooled %s stored into a composite literal; it must stay function-local between Get and Put", obj.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if obj := pooledExpr(n.Value); obj != nil {
+				pass.Reportf(n.Value.Pos(), "pooled %s sent on a channel; it must stay function-local between Get and Put", obj.Name())
+			}
+		}
+		return true
+	})
+
+	// Pass 3: release coverage. A deferred release covers every exit; a
+	// plain release must immediately precede each return that follows
+	// the acquisition, or the pool never gets the value back on that
+	// path.
+	for _, a := range acqs {
+		if !a.released {
+			pass.Reportf(a.pos.Pos(), "pooled %s is never released in this function; every Get needs a matching Put on all return paths", a.obj.Name())
+			continue
+		}
+		if a.deferred {
+			continue
+		}
+		walkScope(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() < a.pos.Pos() {
+				return true
+			}
+			if !releaseJustBefore(info, body, ret, a.obj, releasers) {
+				pass.Reportf(ret.Pos(), "return without releasing pooled %s; release it immediately before this return or use defer", a.obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// storesBeyondScope reports whether assigning to lhs publishes a value
+// outside the current function: a field, element, dereference or
+// package-level variable. Plain local variables (including pooled ones)
+// are fine.
+func storesBeyondScope(info *types.Info, lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return false
+		}
+		obj := objectOf(info, x)
+		if v, ok := obj.(*types.Var); ok {
+			// Package-level variables publish to every goroutine.
+			return v.Parent() == v.Pkg().Scope()
+		}
+		return false
+	default:
+		// Selector, index, star: writing through memory that may be
+		// shared.
+		return true
+	}
+}
+
+// releaseJustBefore reports whether the statement lexically preceding ret
+// in its innermost block releases obj.
+func releaseJustBefore(info *types.Info, body *ast.BlockStmt, ret *ast.ReturnStmt, obj types.Object, releasers map[*types.Func]bool) bool {
+	found := false
+	var visit func(list []ast.Stmt)
+	visit = func(list []ast.Stmt) {
+		for i, s := range list {
+			if s == ret {
+				if i > 0 && releaseTarget(info, callOf(list[i-1]), releasers) == obj {
+					found = true
+				}
+				return
+			}
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				visit(s.List)
+			case *ast.IfStmt:
+				visit(s.Body.List)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					visit(els.List)
+				}
+			case *ast.ForStmt:
+				visit(s.Body.List)
+			case *ast.RangeStmt:
+				visit(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						visit(cc.Body)
+					}
+				}
+			case *ast.LabeledStmt:
+				visit([]ast.Stmt{s.Stmt})
+			}
+		}
+	}
+	visit(body.List)
+	return found
+}
+
+// callOf unwraps an expression statement to its call, if any.
+func callOf(s ast.Stmt) ast.Node {
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			return call
+		}
+	}
+	return nil
+}
+
+// releaseTarget returns the object a release-shaped node hands back to a
+// pool: pool.Put(v) and release(v) return v's object, v.release() returns
+// v's.
+func releaseTarget(info *types.Info, n ast.Node, releasers map[*types.Func]bool) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if arg, ok := poolPutArg(info, call); ok {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			return objectOf(info, id)
+		}
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || !releasers[fn] {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn.Signature().Recv() != nil {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return objectOf(info, id)
+		}
+		return nil
+	}
+	if len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			return objectOf(info, id)
+		}
+	}
+	return nil
+}
+
+// isPoolGet reports whether e is a (possibly type-asserted) call of
+// (*sync.Pool).Get.
+func isPoolGet(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool).Get"
+}
+
+// poolPutArg returns the argument of a (*sync.Pool).Put call.
+func poolPutArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.FullName() != "(*sync.Pool).Put" || len(call.Args) != 1 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// isAcquireCall reports whether e calls a classified acquire helper.
+func isAcquireCall(info *types.Info, e ast.Expr, acquirers map[*types.Func]bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && acquirers[fn]
+}
+
+// objectOf resolves id to its object via Uses or Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolEscape(t *testing.T) {
+	RunFixture(t, PoolEscape, "poolescape/a")
+}

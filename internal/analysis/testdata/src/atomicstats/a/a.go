@@ -1,0 +1,37 @@
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   atomic.Uint64
+	misses atomic.Int64
+	frac   atomic.Value
+	plain  uint64
+}
+
+type snapshot struct {
+	hits uint64
+}
+
+func ok(s *stats) snapshot {
+	s.hits.Add(1)
+	s.misses.Store(2)
+	poke(&s.hits)
+	if v := s.frac.Load(); v != nil {
+		_ = v
+	}
+	// Plain fields are untouched by the analyzer.
+	s.plain = 9
+	return snapshot{hits: s.hits.Load()}
+}
+
+func poke(u *atomic.Uint64) { u.Add(1) }
+
+func bad(s, t *stats) {
+	x := s.hits // want `field hits has atomic type atomic\.Uint64 but is accessed without its methods`
+	_ = x
+	s.hits = t.hits // want `field hits has atomic type atomic\.Uint64 but is accessed without its methods` `field hits has atomic type atomic\.Uint64 but is accessed without its methods`
+	use(s.misses)   // want `field misses has atomic type atomic\.Int64 but is accessed without its methods`
+}
+
+func use(v atomic.Int64) { _ = v }

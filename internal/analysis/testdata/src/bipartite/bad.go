@@ -1,0 +1,9 @@
+package bipartite
+
+func flip(f *Frozen) {
+	f.side[0] = 1 // want `assignment to field bipartite\.Frozen\.side outside frozen\.go`
+}
+
+func read(f *Frozen) int {
+	return len(f.side)
+}

@@ -1,0 +1,13 @@
+package bipartite
+
+// Frozen mimics the bipartite partition view over the CSR.
+type Frozen struct {
+	side []uint8
+}
+
+// Restore is the sanctioned constructor (this file is frozen.go).
+func Restore(side []uint8) *Frozen {
+	f := &Frozen{}
+	f.side = side
+	return f
+}

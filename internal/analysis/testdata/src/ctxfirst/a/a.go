@@ -1,0 +1,33 @@
+package a
+
+import "context"
+
+// Connect is the convention: ctx first.
+func Connect(ctx context.Context, terminals []int) error { return nil }
+
+// connectLater is unexported; position is style, not API contract.
+func connectLater(terminals []int, ctx context.Context) error { return nil }
+
+// ConnectLate violates the exported convention.
+func ConnectLate(terminals []int, ctx context.Context) error { return nil } // want `context\.Context is parameter 2 of exported ConnectLate`
+
+// Batch has it buried even deeper.
+func Batch(name string, n int, ctx context.Context) error { return nil } // want `context\.Context is parameter 3 of exported Batch`
+
+// NoCtx takes none; nothing to check.
+func NoCtx(terminals []int) error { return nil }
+
+type service struct{}
+
+// Query is a method: the convention applies to methods too.
+func (service) Query(name string, ctx context.Context) error { return nil } // want `context\.Context is parameter 2 of exported Query`
+
+func roots() {
+	_ = context.Background() // want `context\.Background creates a root context in library code`
+	_ = context.TODO()       // want `context\.TODO creates a root context in library code`
+}
+
+func derived(ctx context.Context) context.Context {
+	// Deriving from the caller's ctx is the sanctioned shape.
+	return context.WithoutCancel(ctx)
+}

@@ -1,0 +1,63 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBusy = errors.New("busy")
+
+func wraps(err error) error {
+	return fmt.Errorf("query: %w", err) // ok
+}
+
+func wrapsTwo(err error) error {
+	return fmt.Errorf("%w: %w", ErrBusy, err) // ok: Go 1.20+ multi-wrap
+}
+
+func cuts(err error) error {
+	return fmt.Errorf("query: %v", err) // want `error formatted with %v cuts the wrap chain`
+}
+
+func cutsString(err error) error {
+	return fmt.Errorf("query: %s", err) // want `error formatted with %s cuts the wrap chain`
+}
+
+func mixed(err error) error {
+	return fmt.Errorf("%w over %d at %v", ErrBusy, 3, err) // want `error formatted with %v cuts the wrap chain`
+}
+
+func stringified(err error) error {
+	// Deliberate stringification via .Error() is visible and allowed.
+	return fmt.Errorf("query: %s", err.Error())
+}
+
+func compares(err error) bool {
+	if err == nil { // ok: nil checks are not sentinel comparisons
+		return false
+	}
+	return err == ErrBusy // want `errors compared with == never match wrapped chains`
+}
+
+func comparesNeq(err error) bool {
+	return err != ErrBusy // want `errors compared with != never match wrapped chains`
+}
+
+func comparesIs(err error) bool {
+	return errors.Is(err, ErrBusy) // ok
+}
+
+func switches(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrBusy: // want `switch on an error value never matches wrapped chains`
+		return 1
+	}
+	return 2
+}
+
+func values(n int) error {
+	// Non-error arguments never trigger the wrap rule.
+	return fmt.Errorf("bad count %d (%v)", n, []int{n})
+}

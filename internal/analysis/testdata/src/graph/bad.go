@@ -1,0 +1,30 @@
+package graph
+
+// Writes to Frozen fields outside frozen.go: every one must be flagged.
+
+func mutate(f *Frozen) {
+	f.m = 7                              // want `assignment to field graph\.Frozen\.m outside frozen\.go`
+	f.offsets[0] = 1                     // want `assignment to field graph\.Frozen\.offsets outside frozen\.go`
+	f.neighbors = append(f.neighbors, 3) // want `assignment to field graph\.Frozen\.neighbors outside frozen\.go`
+	f.m++                                // want `update of field graph\.Frozen\.m outside frozen\.go`
+	copy(f.labels, []string{"x"})        // want `copy into field graph\.Frozen\.labels outside frozen\.go`
+	f.matrix[0] |= 1                     // want `assignment to field graph\.Frozen\.matrix outside frozen\.go`
+}
+
+func reads(f *Frozen) int {
+	// Reads and address-free uses are fine.
+	n := len(f.labels)
+	n += int(f.offsets[0])
+	if f.matrix != nil {
+		n++
+	}
+	return n + f.m
+}
+
+func locals() {
+	// Same field names on an unrelated type stay quiet.
+	type notFrozen struct{ m int }
+	var x notFrozen
+	x.m = 3
+	_ = x
+}

@@ -1,0 +1,29 @@
+package graph
+
+// Frozen mimics the real compiled CSR view: construction-time writes in
+// this file (the constructor/restore file) are the sanctioned ones.
+type Frozen struct {
+	labels    []string
+	offsets   []int32
+	neighbors []int32
+	matrix    []uint64
+	m         int
+}
+
+// Freeze builds a Frozen; every field write below is allowed because it
+// happens in frozen.go.
+func Freeze(labels []string, offsets, neighbors []int32) *Frozen {
+	f := &Frozen{}
+	f.labels = append([]string(nil), labels...)
+	f.offsets = offsets
+	f.neighbors = neighbors
+	f.m = len(neighbors) / 2
+	for i := range f.offsets {
+		f.offsets[i]++
+		f.offsets[i]--
+	}
+	return f
+}
+
+// N is a read-only accessor; reads are always fine.
+func (f *Frozen) N() int { return len(f.labels) }

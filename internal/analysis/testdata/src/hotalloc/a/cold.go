@@ -1,0 +1,17 @@
+package a
+
+import "fmt"
+
+// No //chordal:hotpath marker: this file is free to allocate.
+
+func coldFormat(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+func coldGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+//chordal:hotpath
+package a
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type sink interface{ use() }
+
+func (pair) use() {}
+
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates on a hot path`
+}
+
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out from zero capacity on a hot path`
+	}
+	return out
+}
+
+func growLiteral(xs []int) []int {
+	out := []int{}
+	out = append(out, xs...) // want `append grows out from zero capacity on a hot path`
+	return out
+}
+
+func sized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	out = append(out, xs...) // ok: capacity reserved up front
+	return out
+}
+
+func appendCaller(dst []int, xs []int) []int {
+	return append(dst, xs...) // ok: caller-owned capacity
+}
+
+func box(p pair) sink {
+	return sink(p) // want `conversion to interface sink boxes its operand on a hot path`
+}
+
+func boxArg(p pair) {
+	take(p) // want `passing pair to interface parameter boxes it on a hot path`
+}
+
+func boxPointer(p *pair) {
+	take(p) // ok: pointers are interface-shaped, no allocation
+}
+
+func take(s any) { _ = s }
+
+func coldError(n int) error {
+	// Error construction is the cold path by contract.
+	return fmt.Errorf("bad n %d", n)
+}
+
+func allowed(n int) string {
+	return fmt.Sprint(n) //chordal:allow hotalloc — cold admin path, measured
+}

@@ -1,0 +1,102 @@
+package a
+
+import "sync"
+
+type scratch struct {
+	buf  []int
+	mask []uint64
+}
+
+var pool = sync.Pool{New: func() any { return &scratch{} }}
+
+// getScratch is the sanctioned acquire helper: it returns the pooled
+// value, so it is exempt from the pairing rule.
+func getScratch() *scratch {
+	sc := pool.Get().(*scratch)
+	return sc
+}
+
+// release is the sanctioned release helper.
+func (sc *scratch) release() { pool.Put(sc) }
+
+type holder struct {
+	kept *scratch
+	buf  []int
+}
+
+// ok: defer covers every exit.
+func deferred() int {
+	sc := getScratch()
+	defer sc.release()
+	if len(sc.buf) > 3 {
+		return 1
+	}
+	return 0
+}
+
+// ok: direct Get/Put pair with release immediately before the return.
+func directPair() int {
+	sc := pool.Get().(*scratch)
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n
+}
+
+func neverReleased() {
+	sc := getScratch() // want `pooled sc is never released in this function`
+	_ = sc
+}
+
+func earlyReturn(cond bool) int {
+	sc := getScratch()
+	if cond {
+		return 1 // want `return without releasing pooled sc`
+	}
+	sc.release()
+	return 0
+}
+
+func escapesReturn() *scratch {
+	sc := getScratch() // want `pooled sc is never released in this function`
+	return sc          // want `pooled sc escapes via return`
+}
+
+func escapesField(h *holder) {
+	sc := getScratch()
+	defer sc.release()
+	h.kept = sc // want `pooled sc stored beyond its query`
+}
+
+func escapesBuffer(h *holder) {
+	sc := getScratch()
+	defer sc.release()
+	h.buf = sc.buf // want `pooled sc stored beyond its query`
+}
+
+func escapesReturnedBuffer() []int {
+	sc := getScratch()
+	defer sc.release()
+	return sc.buf // want `pooled sc escapes via return`
+}
+
+func escapesLiteral() holder {
+	sc := getScratch()
+	defer sc.release()
+	h := holder{kept: sc} // want `pooled sc stored into a composite literal`
+	return h
+}
+
+func discarded() {
+	_ = pool.Get() // want `pooled value discarded at Get`
+}
+
+// ok: borrowing — passing the scratch or its buffers to callees copies
+// nothing out of the query's ownership.
+func borrows() int {
+	sc := getScratch()
+	defer sc.release()
+	return use(sc.buf) + use2(sc)
+}
+
+func use(b []int) int      { return len(b) }
+func use2(sc *scratch) int { return len(sc.mask) }

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the compilation-unit description `go vet` hands a vettool:
+// a JSON file (*.cfg) naming the unit's sources and the export data of
+// every dependency. The field set mirrors the protocol consumed by
+// x/tools' unitchecker, which is what the go command speaks.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool analyzes the single compilation unit described by cfgFile
+// (the "go vet -vettool" protocol), printing diagnostics to stderr. The
+// returned code is the process exit status: 0 clean, 1 diagnostics found,
+// 2 driver failure.
+func RunVetTool(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "chordalvet: cannot decode %s: %v\n", cfgFile, err)
+		return 2
+	}
+	if len(cfg.GoFiles) == 0 {
+		// The go command never vets an empty unit; be tolerant anyway.
+		return writeVetx(cfg, stderr)
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export data is keyed by resolved package path; imports go through
+	// ImportMap first (vendoring, test variants).
+	exportFile := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exportFile[path] = file
+	}
+	imp := mappedImporter{
+		imp:       exportImporter(fset, exportFile),
+		importMap: cfg.ImportMap,
+	}
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, stderr)
+		}
+		fmt.Fprintf(stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+
+	if code := writeVetx(cfg, stderr); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	ds, err := runPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+	sortDiagnostics(fset, ds)
+	if Print(stderr, fset, ds) {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) fact file the go command expects so vet
+// results cache cleanly. The chordalvet analyzers exchange no facts.
+func writeVetx(cfg *VetConfig, stderr io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fmt.Fprintf(stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// mappedImporter applies the vet config's ImportMap before delegating to
+// the export-data importer.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+// Import resolves an import path through ImportMap, then reads the
+// mapped package's export data.
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if resolved, ok := m.importMap[path]; ok {
+		path = resolved
+	}
+	return m.imp.Import(path)
+}
+
+// IsVetConfig reports whether arg looks like the go command's unit
+// description file rather than a package pattern.
+func IsVetConfig(arg string) bool { return strings.HasSuffix(arg, ".cfg") }

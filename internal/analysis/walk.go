@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectWithStack walks every node of f, calling fn with the node and
+// its ancestor stack (outermost first, not including n itself).
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcScopes yields every function body in f — declarations and literals
+// — without descending into nested function literals, so per-function
+// analyses (like poolescape's acquire/release pairing) see each scope
+// exactly once. name is the enclosing declaration's name ("" for
+// literals), decl its *ast.FuncDecl when there is one.
+func funcScopes(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd, fd.Body)
+			collectFuncLits(fd.Body, func(lit *ast.FuncLit) { fn(nil, lit.Body) })
+		}
+	}
+	// Function literals in package-level var initializers.
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok {
+			collectFuncLits(gd, func(lit *ast.FuncLit) { fn(nil, lit.Body) })
+		}
+	}
+}
+
+// collectFuncLits finds every function literal under n, including nested
+// ones.
+func collectFuncLits(n ast.Node, fn func(*ast.FuncLit)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(lit)
+		}
+		return true
+	})
+}
+
+// walkScope walks stmts of one function body without entering nested
+// function literals.
+func walkScope(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == body {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// calleeFunc resolves the called function object of call, or nil for
+// builtins, function-typed variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// deref strips pointer indirections from t.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedIn reports whether t (after deref) is a named type with the given
+// name whose package path ends in one of the tails.
+func namedIn(t types.Type, name string, tails ...string) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	for _, tail := range tails {
+		path := obj.Pkg().Path()
+		if path == tail || len(path) > len(tail) && path[len(path)-len(tail)-1] == '/' && path[len(path)-len(tail):] == tail {
+			return true
+		}
+	}
+	return false
+}
+
+// baseSelector unwraps index, slice, paren and star expressions around e
+// and returns the innermost selector expression, if any: for
+// `f.offsets[v+1]` it returns `f.offsets`.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package cache implements the sharded LRU map behind core.Service's
+// answer cache.
+//
+// A Cache is a fixed set of independent shards — each owning its own
+// mutex, hash table and LRU list — selected by an FNV-1a hash of the key.
+// Under a single global lock every cache hit serializes on the same mutex,
+// so a warm high-QPS serving path spends its time queueing rather than
+// answering; splitting the key space lets concurrent lookups of different
+// keys proceed on different locks, while lookups of the *same* key still
+// meet on one shard (which is what gives the Service its in-flight
+// deduplication).
+//
+// Shard counts are rounded up to a power of two so shard selection is a
+// mask, not a modulo. With one shard the Cache degenerates to exactly the
+// classic single-lock LRU: one table, one recency list, capacity enforced
+// globally — callers that need the v1 eviction order byte-for-byte (or a
+// deterministic test) ask for Shards(1).
+//
+// # Capacity rounding
+//
+// The requested capacity is divided across shards with ceiling division
+// and a floor of one entry per shard: New(capacity, shards) gives every
+// shard max(1, ⌈capacity/shards⌉) entries. The effective total — reported
+// by Capacity() — is therefore rounded *up* to a multiple of the shard
+// count, never down: a cache asked for 10 entries over 8 shards holds up
+// to 16, and a cache asked for 1 entry over 64 shards holds up to 64.
+// A shard is never silently given zero capacity, which would turn every
+// lookup that lands on it into a miss-insert-evict cycle that can never
+// hit.
+//
+// Eviction is LRU per shard, not global: capacity pressure on one shard
+// evicts that shard's least-recently-used entry even if a colder entry
+// lives elsewhere. For the uniformly-hashed keys the Service feeds it
+// (canonical terminal-set fingerprints) the difference from global LRU is
+// noise; the win is that no lookup ever touches another shard's lock.
+package cache

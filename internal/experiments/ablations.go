@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // Algorithm 1: with the proper ordering the V2 count is always optimal;
 // with random V2 orderings the same elimination loses optimality on a
 // non-trivial fraction of α-acyclic instances.
-func EAblationOrdering() Table {
+func EAblationOrdering(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-ABL1",
 		Title:  "Ablation: Algorithm 1 with Lemma 1 ordering vs random V2 orderings",
@@ -55,7 +56,7 @@ func EAblationOrdering() Table {
 // ("terminals stay connected") is load-bearing: under the strict
 // whole-graph-connectivity reading, a single elimination pass loses
 // minimality even on (6,2)-chordal graphs.
-func EAblationCoverSemantics() Table {
+func EAblationCoverSemantics(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-ABL2",
 		Title:  "Ablation: relaxed vs strict cover test in ordered elimination",
@@ -96,7 +97,7 @@ func EAblationCoverSemantics() Table {
 // ordering exists (Theorem 6); the table reports the gap between the
 // elimination heuristic / 2-approximation and the exact optimum on random
 // β-acyclic incidence graphs.
-func EOpenProblem() Table {
+func EOpenProblem(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-OPEN",
 		Title:  "Open problem corner: Steiner on (6,1)-chordal graphs (no polynomial algorithm known)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,7 +13,7 @@ import (
 // acyclic schemes the paper cites in Section 2 (Beeri et al. [2]):
 // on α-acyclic schemes, pairwise consistency implies global consistency;
 // on the cyclic triangle scheme it does not.
-func EConsistency() Table {
+func EConsistency(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-CONS",
 		Title:  "Pairwise vs global consistency across the acyclicity boundary",

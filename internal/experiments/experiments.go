@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -90,10 +91,12 @@ func (t Table) Markdown() string {
 	return b.String()
 }
 
-// Experiment couples an id with its generator.
+// Experiment couples an id with its generator. Run accepts the caller's
+// context so interpretation search and universal-relation evaluation
+// inherit deadlines; experiments that finish without blocking ignore it.
 type Experiment struct {
 	ID  string
-	Run func() Table
+	Run func(context.Context) Table
 }
 
 // All returns every experiment in presentation order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestAllExperimentsPass(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb := e.Run()
+			tb := e.Run(context.Background())
 			if tb.ID != e.ID {
 				t.Errorf("table id %q != experiment id %q", tb.ID, e.ID)
 			}

@@ -20,9 +20,9 @@ import (
 // entity–relationship scheme, whose minimal interpretation is the
 // birthdate aggregation and whose second interpretation goes through
 // WORKS_IN.
-func EFig1() Table {
+func EFig1(ctx context.Context) Table {
 	s := er.Fig1Scheme()
-	interps, err := s.Interpretations(context.Background(), []string{"EMPLOYEE", "DATE"}, 3)
+	interps, err := s.Interpretations(ctx, []string{"EMPLOYEE", "DATE"}, 3)
 	t := Table{
 		ID:     "E-FIG1",
 		Title:  "Fig 1: ranked interpretations of the query {EMPLOYEE, DATE}",
@@ -54,7 +54,7 @@ func EFig1() Table {
 
 // EFig2 reproduces Fig 2: H¹G α-acyclic, H²G not — α-acyclicity is not
 // self-dual.
-func EFig2() Table {
+func EFig2(ctx context.Context) Table {
 	b := fixtures.Fig2()
 	h1 := b.HypergraphV1().H
 	h2 := b.HypergraphV2().H
@@ -75,7 +75,7 @@ func EFig2() Table {
 
 // EFig34 reproduces Figs 3a–c / 4a–c: the chordality ladder and its
 // hypergraph images under Theorem 1.
-func EFig34() Table {
+func EFig34(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-FIG34",
 		Title:  "Figs 3/4: chordality of the example graphs vs acyclicity of their hypergraphs",
@@ -104,7 +104,7 @@ func EFig34() Table {
 
 // EFig5 reproduces Fig 5: Vi-chordal ∧ Vi-conformal for both sides but not
 // (6,1)-chordal — the containment of Corollary 2 is proper.
-func EFig5() Table {
+func EFig5(ctx context.Context) Table {
 	cl := chordality.Classify(fixtures.Fig5())
 	return Table{
 		ID:     "E-FIG5",
@@ -121,7 +121,7 @@ func EFig5() Table {
 // EFig6 reproduces Fig 6 / Theorem 2: the X3C gadget on the paper's
 // instance. The instance is solvable, so the Steiner optimum hits the 4q+1
 // budget exactly.
-func EFig6() Table {
+func EFig6(ctx context.Context) Table {
 	inst := fixtures.Fig6Instance()
 	red, err := steiner.ReduceX3C(inst)
 	t := Table{
@@ -151,7 +151,7 @@ func EFig6() Table {
 
 // EFig8 reproduces Fig 8: the four cover concepts of Definition 10 are
 // distinct on one graph.
-func EFig8() Table {
+func EFig8(ctx context.Context) Table {
 	b := fixtures.Fig8()
 	g := b.G()
 	terms := g.IDs("A", "C", "D")
@@ -174,7 +174,7 @@ func EFig8() Table {
 // EFig9 reproduces Fig 9: the CSPC reduction — subdividing a chordal graph
 // yields a V1-chordal (not V1-conformal) gadget on which pseudo-Steiner
 // w.r.t. V2 equals the original arc-minimum connection problem.
-func EFig9() Table {
+func EFig9(ctx context.Context) Table {
 	r := rand.New(rand.NewSource(9))
 	t := Table{
 		ID:     "E-FIG9",
@@ -203,7 +203,7 @@ func EFig9() Table {
 
 // EFig10 reproduces Fig 10 / Lemma 4: the nonredundant-but-not-minimum
 // path in a single-chord 6-cycle.
-func EFig10() Table {
+func EFig10(ctx context.Context) Table {
 	b := fixtures.Fig10()
 	g := b.G()
 	long := g.IDs("B", "2", "C", "3", "A")
@@ -228,7 +228,7 @@ func EFig10() Table {
 // EFig11 reproduces Theorem 6 / Fig 11: a (6,1)-chordal graph with no good
 // ordering — each of the four leading-node cases has a witness terminal
 // set on which elimination misses the optimum.
-func EFig11() Table {
+func EFig11(ctx context.Context) Table {
 	b := fixtures.Fig11()
 	g := b.G()
 	t := Table{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,7 +17,7 @@ import (
 // more than a generous polynomial factor (×32 per doubling covers the
 // O(m³) conformality scan with headroom while still rejecting exponential
 // growth).
-func EScaling() Table {
+func EScaling(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-SCALE",
 		Title:  "Recognizer scaling: full classification time vs graph size",

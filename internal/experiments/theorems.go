@@ -18,7 +18,7 @@ import (
 
 // ETheorem1 cross-validates the six statements of Theorem 1 on random
 // bipartite graphs, bucketed by size.
-func ETheorem1() Table {
+func ETheorem1(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-T1",
 		Title:  "Theorem 1: graph-side vs hypergraph-side recognizer agreement",
@@ -65,7 +65,7 @@ func ETheorem1() Table {
 
 // ECorollary1 checks self-duality of Berge/γ/β acyclicity on random
 // hypergraphs, and exhibits the α counterexample.
-func ECorollary1() Table {
+func ECorollary1(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-C1",
 		Title:  "Corollary 1: self-duality of acyclicity degrees",
@@ -101,7 +101,7 @@ func ECorollary1() Table {
 
 // ECorollary2 counts class memberships across generated families,
 // verifying the containment chain and its properness.
-func ECorollary2() Table {
+func ECorollary2(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-C2",
 		Title:  "Corollary 2: containment (4,1) ⊂ (6,2) ⊂ (6,1) ⊂ Vi-chordal ∧ Vi-conformal",
@@ -158,7 +158,7 @@ func ECorollary2() Table {
 // ETheorem2 demonstrates the NP-hardness shape: exact-solver time on the
 // X3C gadget family grows exponentially with q while Algorithm 1 (which
 // only minimizes relations) stays polynomial.
-func ETheorem2() Table {
+func ETheorem2(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-T2",
 		Title:  "Theorem 2: exact Steiner blow-up on X3C gadgets (terminals = 3q+1)",
@@ -198,7 +198,7 @@ func ETheorem2() Table {
 
 // ETheorem3 validates Algorithm 1 exactness (V2 count) against brute force
 // on random α-acyclic incidence graphs.
-func ETheorem3() Table {
+func ETheorem3(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-T3",
 		Title:  "Theorem 3: Algorithm 1 vs brute-force V2 optimum",
@@ -238,7 +238,7 @@ func ETheorem3() Table {
 // ETheorem4 measures Algorithm 1 scaling: wall time against |V|·|A|,
 // reporting the normalized ratio which should stay roughly flat
 // (polynomial, near O(|V|·|A|)).
-func ETheorem4() Table {
+func ETheorem4(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-T4",
 		Title:  "Theorem 4: Algorithm 1 scaling (time per |V|·|A| unit)",
@@ -273,7 +273,7 @@ func ETheorem4() Table {
 
 // ETheorem5 validates Algorithm 2 exactness against Dreyfus–Wagner on
 // random (6,2)-chordal graphs and reports its scaling.
-func ETheorem5() Table {
+func ETheorem5(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-T5",
 		Title:  "Theorem 5: Algorithm 2 vs exact optimum on (6,2)-chordal graphs",
@@ -310,7 +310,7 @@ func ETheorem5() Table {
 
 // ECorollary5 verifies that random orderings all reach the optimum on
 // (6,2)-chordal graphs.
-func ECorollary5() Table {
+func ECorollary5(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-C5",
 		Title:  "Corollary 5: random elimination orderings on (6,2)-chordal graphs",
@@ -349,7 +349,7 @@ func ECorollary5() Table {
 // EUniversalRelation runs the end-to-end universal-relation flow: plan
 // size equals the pseudo-Steiner optimum and Yannakakis evaluation equals
 // the naive join.
-func EUniversalRelation() Table {
+func EUniversalRelation(ctx context.Context) Table {
 	t := Table{
 		ID:     "E-UR",
 		Title:  "Universal relation interface: plan minimality and evaluation correctness",
@@ -380,7 +380,7 @@ func EUniversalRelation() Table {
 		{"name", "area"},
 	}
 	for _, q := range queries {
-		res, plan, err := u.Answer(context.Background(), q)
+		res, plan, err := u.Answer(ctx, q)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(q), err.Error(), "-", "-", "FAIL"})
 			continue

@@ -1,3 +1,5 @@
+//chordal:hotpath
+
 package graph
 
 import "math/bits"

@@ -40,7 +40,9 @@ func Serve(ctx context.Context, l net.Listener, h http.Handler, grace time.Durat
 		return err
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	// WithoutCancel: the shutdown deadline must outlive ctx, which has
+	// just been canceled, while keeping its values for logging hooks.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
 	defer cancel()
 	err := srv.Shutdown(sctx)
 	if errors.Is(err, context.DeadlineExceeded) {

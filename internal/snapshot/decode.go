@@ -185,11 +185,11 @@ func Decode(data []byte) (*Snapshot, error) {
 
 	g, err := graph.RestoreFrozen(labels, offsets, neighbors, matrix, stride)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	fb, err := bipartite.RestoreFrozen(g, sides)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return &Snapshot{Frozen: fb, Class: class, Version: version, ZeroCopy: aliased}, nil
 }

@@ -1,3 +1,5 @@
+//chordal:hotpath
+
 package steiner
 
 // Frozen-path solvers: the Section 3 algorithms compiled against the
@@ -401,7 +403,7 @@ func lemma1OrderingAlive(fb *bipartite.Frozen, alive graph.Bits) ([]int, error) 
 	for _, v := range corr.EdgeToV2 {
 		seen[v] = true
 	}
-	var w []int
+	w := make([]int, 0, len(fb.V2()))
 	for _, v := range fb.V2() {
 		if (alive == nil || alive.Has(v)) && !seen[v] {
 			w = append(w, v) // isolated V2 node: eliminate first

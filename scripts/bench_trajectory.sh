@@ -7,10 +7,12 @@
 #
 # Usage: scripts/bench_trajectory.sh [out.json]
 #   BENCHTIME=2s scripts/bench_trajectory.sh   # longer, steadier runs
+#   BENCH_TAG=pr8 scripts/bench_trajectory.sh  # default name BENCH_pr8.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_pr6.json}
+BENCH_TAG=${BENCH_TAG:-pr7}
+OUT=${1:-BENCH_${BENCH_TAG}.json}
 BENCHTIME=${BENCHTIME:-0.5s}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
