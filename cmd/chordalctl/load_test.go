@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunLoadSelf runs a very short self-mode load and checks the printed
+// report plus the full BENCH_*.json schema: version, tag, cores, merged
+// benchmarks and both serving phases.
+func TestRunLoadSelf(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_t.json")
+	merge := filepath.Join(dir, "micro.json")
+	if err := os.WriteFile(merge, []byte(`{"benchtime":"0.1s","benchmarks":[{"name":"BenchmarkX","ns_per_op":42}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-load", "self", "-load-duration", "200ms", "-load-concurrency", "2",
+		"-seed", "7", "-bench-out", out, "-bench-tag", "t", "-bench-merge", merge,
+	}
+	if err := run(args, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	for _, want := range []string{"load: cold", "load: warm", "(0 errors)", "schema v2"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("bench file does not parse: %v", err)
+	}
+	if f.SchemaVersion != 2 || f.Tag != "t" {
+		t.Fatalf("header = schema %d tag %q, want 2/t", f.SchemaVersion, f.Tag)
+	}
+	if f.Cores.Gomaxprocs < 1 || f.Cores.Numcpu < 1 {
+		t.Fatalf("cores not recorded: %+v", f.Cores)
+	}
+	if !bytes.Contains(f.Benchmarks, []byte("BenchmarkX")) {
+		t.Fatalf("merged benchmarks missing: %s", f.Benchmarks)
+	}
+	if f.Serving == nil || f.Serving.Target != "self" {
+		t.Fatalf("serving section missing or wrong target: %+v", f.Serving)
+	}
+	for phase, r := range map[string]phaseReport{"cold": f.Serving.Cold, "warm": f.Serving.Warm} {
+		if r.Requests == 0 || r.Errors != 0 || r.QPS <= 0 {
+			t.Errorf("%s phase implausible: %+v", phase, r)
+		}
+		if r.P50ms <= 0 || r.P99ms < r.P50ms {
+			t.Errorf("%s quantiles implausible: p50 %.3f p99 %.3f", phase, r.P50ms, r.P99ms)
+		}
+	}
+	if f.Serving.Warm.CacheHitRate <= 0 {
+		t.Errorf("warm hit rate = %g, want > 0 (zipf reuse)", f.Serving.Warm.CacheHitRate)
+	}
+
+	// The trajectory is append-only: a second run must refuse to clobber.
+	if err := run(args, strings.NewReader(""), &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("overwrite err = %v, want refusal", err)
+	}
+}
+
+// TestRunLoadTraceRoundTrip records the warm phase to a trace file, then
+// replays it and checks replay issues exactly the recorded request count.
+func TestRunLoadTraceRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "warm.trace")
+	var stdout, stderr bytes.Buffer
+	rec := []string{"-load", "self", "-load-duration", "150ms", "-load-concurrency", "2",
+		"-seed", "7", "-trace-record", trace}
+	if err := run(rec, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("record: %v\nstderr: %s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines int
+	for _, l := range strings.Split(string(raw), "\n") {
+		if l != "" && !strings.HasPrefix(l, "#") {
+			lines++
+		}
+	}
+	if lines == 0 {
+		t.Fatal("trace recorded no queries")
+	}
+
+	stdout.Reset()
+	replay := []string{"-load", "self", "-load-concurrency", "2", "-seed", "7", "-trace", trace}
+	if err := run(replay, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("replay: %v\nstderr: %s", err, stderr.String())
+	}
+	// Replay issues each recorded query exactly once.
+	wantWarm := "warm " + strconv.Itoa(lines) + " requests (0 errors)"
+	if !strings.Contains(stdout.String(), wantWarm) {
+		t.Errorf("replay stdout missing %q:\n%s", wantWarm, stdout.String())
+	}
+}
+
+// TestLoadFlagConflicts exercises the flag-validation surface of -load.
+func TestLoadFlagConflicts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-load", "self", "-serve", ":0"},                              // two run modes
+		{"-load", "self", "-batch", "q.txt"},                           // load is not a batch
+		{"-load", "ftp://x"},                                           // target must be self or http(s)
+		{"-load", "self", "-load-duration", "0s"},                      // duration must be positive
+		{"-load", "self", "-load-concurrency", "0"},                    // at least one worker
+		{"-load", "self", "-zipf-s", "1.0"},                            // zipf needs s > 1
+		{"-load", "self", "-bench-out", "x.json"},                      // bench-out needs a tag
+		{"-load", "self", "-trace", "a", "-trace-record", "b"},         // replay xor record
+		{"-load-duration", "1s"},                                       // load flags need -load
+		{"-load", "self", "-bench-merge", "x.json", "-bench-tag", "t"}, // merge needs bench-out
+	} {
+		if err := run(args, strings.NewReader(""), &out, &errOut); err == nil {
+			t.Errorf("args %v accepted, want a flag-conflict error", args)
+		}
+	}
+}

@@ -21,6 +21,18 @@
 // recompilation. Catalog entries compile/load concurrently on the
 // -workers pool; -v reports per-scheme timing and provenance on stderr.
 //
+// With -load the tool becomes a load harness: "-load self" boots an
+// in-process server over a deterministic multi-tenant scheme mix (one
+// generator per band of the chordality taxonomy, including the
+// adversarial grid), "-load http://host:port" drives an external server.
+// The harness runs a cold pass (every pool query once — all compulsory
+// misses) then a warm pass (zipfian popularity over the pool for
+// -load-duration, or a -trace replay), reports cold/warm QPS with
+// client-observed p50/p95/p99, and with -bench-out/-bench-tag writes the
+// schema-versioned BENCH_*.json trajectory file (merging the go-test
+// benchmark rows the trajectory script distilled via -bench-merge).
+// -trace-record captures the warm-phase stream for later replay.
+//
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
@@ -28,6 +40,7 @@
 //	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d] [-cache-shards n]
 //	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
+//	chordalctl -load self|url [-load-duration d] [-load-concurrency n] [-zipf-s s] [-seed n] [-trace f | -trace-record f] [-bench-out f -bench-tag t [-bench-merge f]] [-cache-shards n]
 //
 // -cpuprofile and -memprofile write pprof profiles of a serving run:
 // the CPU profile spans scheme compilation through the last answer (for
@@ -114,6 +127,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
 	maxTerminals := 0
 	cacheShards := 0
+	load := loadConfig{duration: 2 * time.Second, concurrency: 8, zipfS: 1.2, seed: 1}
+	loadFlagSet := false // any -load-*/-zipf-s/-seed/-trace*/-bench-* flag seen
 	var timeout time.Duration
 	var files []string
 	for i := 0; i < len(args); i++ {
@@ -181,6 +196,91 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 				return fmt.Errorf("-memprofile needs an output file argument")
 			}
 			memprofile = args[i]
+		case "-load", "--load":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-load needs a target argument (\"self\" or a base URL)")
+			}
+			load.target = args[i]
+		case "-load-duration", "--load-duration":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-load-duration needs a duration argument")
+			}
+			d, err := time.ParseDuration(args[i])
+			if err != nil {
+				return fmt.Errorf("-load-duration: %w", err)
+			}
+			if d <= 0 {
+				return fmt.Errorf("-load-duration: must be positive")
+			}
+			load.duration, loadFlagSet = d, true
+		case "-load-concurrency", "--load-concurrency":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-load-concurrency needs a count argument")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-load-concurrency: %w", err)
+			}
+			if n < 1 {
+				return fmt.Errorf("-load-concurrency: count must be >= 1")
+			}
+			load.concurrency, loadFlagSet = n, true
+		case "-zipf-s", "--zipf-s":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-zipf-s needs a float argument")
+			}
+			s, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return fmt.Errorf("-zipf-s: %w", err)
+			}
+			if s <= 1 {
+				return fmt.Errorf("-zipf-s: exponent must be > 1")
+			}
+			load.zipfS, loadFlagSet = s, true
+		case "-seed", "--seed":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-seed needs an integer argument")
+			}
+			n, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("-seed: %w", err)
+			}
+			load.seed, loadFlagSet = n, true
+		case "-trace", "--trace":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-trace needs a trace file argument")
+			}
+			load.trace, loadFlagSet = args[i], true
+		case "-trace-record", "--trace-record":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-trace-record needs an output file argument")
+			}
+			load.traceRecord, loadFlagSet = args[i], true
+		case "-bench-out", "--bench-out":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-bench-out needs an output file argument")
+			}
+			load.benchOut, loadFlagSet = args[i], true
+		case "-bench-tag", "--bench-tag":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-bench-tag needs a tag argument")
+			}
+			load.benchTag, loadFlagSet = args[i], true
+		case "-bench-merge", "--bench-merge":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-bench-merge needs a JSON file argument")
+			}
+			load.benchMerge, loadFlagSet = args[i], true
 		case "-batch", "--batch":
 			i++
 			if i >= len(args) {
@@ -238,6 +338,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	// Reject flag combinations that would otherwise be silently ignored —
 	// a server quietly discarding the user's query file is worse than an
 	// error.
+	if load.target != "" {
+		switch {
+		case serve != "":
+			return fmt.Errorf("-load is incompatible with -serve (point -load at the server's URL instead)")
+		case batch != "":
+			return fmt.Errorf("-load is incompatible with -batch (the harness generates its own workload)")
+		case compile != "":
+			return fmt.Errorf("-load is incompatible with -compile")
+		case registry != "":
+			return fmt.Errorf("-load self builds its own scheme mix; -registry does not apply")
+		case jsonOut || hyper:
+			return fmt.Errorf("-json/-hypergraph do not apply to -load")
+		case workers > 0:
+			return fmt.Errorf("-workers does not apply to -load (use -load-concurrency)")
+		case load.benchOut != "" && load.benchTag == "":
+			return fmt.Errorf("-bench-out needs -bench-tag (trajectory files are named and compared by tag)")
+		case load.benchMerge != "" && load.benchOut == "":
+			return fmt.Errorf("-bench-merge folds micro-benchmark rows into the -bench-out file; pass -bench-out too")
+		case load.trace != "" && load.traceRecord != "":
+			return fmt.Errorf("-trace-record records the generated stream; it cannot be combined with -trace replay")
+		case load.target != "self" && !strings.HasPrefix(load.target, "http://") && !strings.HasPrefix(load.target, "https://"):
+			return fmt.Errorf("-load target must be \"self\" or an http(s) base URL, got %q", load.target)
+		}
+	} else if loadFlagSet {
+		return fmt.Errorf("-load-duration/-load-concurrency/-zipf-s/-seed/-trace/-trace-record/-bench-* only apply to -load")
+	}
 	if serve != "" && batch != "" {
 		return fmt.Errorf("-batch is incompatible with -serve (use POST /v1/batch against the server)")
 	}
@@ -247,11 +373,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	if serve == "" && maxInFlightSet {
 		return fmt.Errorf("-max-inflight only applies to -serve")
 	}
-	if cacheShards > 0 && serve == "" && batch == "" && registry == "" {
+	if cacheShards > 0 && serve == "" && batch == "" && registry == "" && load.target == "" {
 		// Covers plain describe/-json and -compile alike: no Service (and
 		// so no answer cache) is ever built there, and a silently ignored
 		// tuning flag is worse than an error.
-		return fmt.Errorf("-cache-shards is a serving knob; it requires -serve, -batch or -registry")
+		return fmt.Errorf("-cache-shards is a serving knob; it requires -serve, -batch, -registry or -load")
 	}
 	if (cpuprofile != "" || memprofile != "") && serve == "" && batch == "" {
 		// Covers describe/-json/-compile and batch-less -registry: none of
@@ -292,6 +418,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 			return fmt.Errorf("-timeout does not apply to -compile")
 		}
 		return runCompile(compile, files, stdin, stdout, stderr, hyper, verbose)
+	}
+
+	if load.target != "" {
+		return runLoad(ctx, load, stdout, stderr, schemeOpts)
 	}
 
 	if serve != "" {

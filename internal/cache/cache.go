@@ -47,12 +47,17 @@ type Cache[V comparable] struct {
 // shard is one independently locked slice of the key space. The trailing
 // pad keeps neighbouring shards' mutexes off one cache line — the whole
 // point of sharding is that two cores hitting different shards do not
-// ping-pong a line between them.
+// ping-pong a line between them. The per-shard counters are plain fields
+// guarded by mu: they are only touched inside sections that already hold
+// the lock, so atomics would buy nothing.
 type shard[V comparable] struct {
-	mu    sync.Mutex
-	table map[string]*list.Element
-	order *list.List // front = most recently used; values are *entry[V]
-	_     [64]byte
+	mu        sync.Mutex
+	table     map[string]*list.Element
+	order     *list.List // front = most recently used; values are *entry[V]
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	_         [64]byte
 }
 
 // entry is one resident key/value pair, held by the shard's LRU list.
@@ -118,15 +123,18 @@ func (c *Cache[V]) GetOrAdd(key string, newf func() V) (v V, hit bool) {
 	if e, ok := s.table[key]; ok {
 		s.order.MoveToFront(e)
 		v = e.Value.(*entry[V]).val
+		s.hits++
 		s.mu.Unlock()
 		return v, true
 	}
 	v = newf()
+	s.misses++
 	s.table[key] = s.order.PushFront(&entry[V]{key: key, val: v})
 	if s.order.Len() > c.perShard {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.table, oldest.Value.(*entry[V]).key)
+		s.evictions++
 		c.evictions.Add(1)
 	}
 	s.mu.Unlock()
@@ -178,6 +186,38 @@ func (c *Cache[V]) Occupancy() []int {
 		s.mu.Unlock()
 	}
 	return occ
+}
+
+// ShardStat is one shard's counters and occupancy, as returned by
+// ShardStats. Hits and Misses count GetOrAdd outcomes on keys hashing to
+// the shard; Evictions counts capacity-pressure drops (conditional
+// Removes are not counted, matching Evictions()).
+type ShardStat struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// ShardStats returns per-shard counters and occupancy, in shard order —
+// the observability view behind per-shard /metrics series. Hits sum to
+// the hit total, misses to the miss total, evictions to Evictions().
+// Each shard is locked briefly in turn (like Occupancy), so the slice is
+// consistent per shard but not across shards under concurrent writes.
+func (c *Cache[V]) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+			Entries:   s.order.Len(),
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Shards returns the shard count (always a power of two).

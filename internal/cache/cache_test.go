@@ -204,3 +204,55 @@ func TestConcurrentGetOrAdd(t *testing.T) {
 		t.Fatalf("resident %d over effective capacity %d", sum, c.Capacity())
 	}
 }
+
+// TestShardStatsSumToTotals drives mixed traffic — repeats for hits,
+// capacity pressure for evictions, a conditional Remove — and asserts the
+// per-shard counters are an exact decomposition of the cache-wide view:
+// shard misses/evictions/entries sum to the totals and Removes stay out
+// of the eviction count at both levels.
+func TestShardStatsSumToTotals(t *testing.T) {
+	c := New[int](8, 4)
+	wantHits, wantMisses := uint64(0), uint64(0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 32; i++ {
+			_, hit := c.GetOrAdd(fmt.Sprintf("key-%d", i), func() int { return i })
+			if hit {
+				wantHits++
+			} else {
+				wantMisses++
+			}
+		}
+	}
+	// A successful conditional Remove must not count as an eviction.
+	if v, hit := c.GetOrAdd("victim", func() int { return -1 }); hit {
+		t.Fatal("victim unexpectedly present")
+	} else if !c.Remove("victim", v) {
+		t.Fatal("conditional Remove of fresh entry failed")
+	}
+	wantMisses++
+
+	stats := c.ShardStats()
+	if len(stats) != c.Shards() {
+		t.Fatalf("ShardStats has %d slots for %d shards", len(stats), c.Shards())
+	}
+	var hits, misses, evictions uint64
+	entries := 0
+	for _, s := range stats {
+		hits += s.Hits
+		misses += s.Misses
+		evictions += s.Evictions
+		entries += s.Entries
+	}
+	if hits != wantHits || misses != wantMisses {
+		t.Fatalf("shard sums: %d hits / %d misses, want %d / %d", hits, misses, wantHits, wantMisses)
+	}
+	if evictions != c.Evictions() {
+		t.Fatalf("shard evictions sum to %d, Evictions() = %d", evictions, c.Evictions())
+	}
+	if evictions == 0 {
+		t.Fatal("expected capacity pressure to evict (32 keys into capacity 8)")
+	}
+	if entries != c.Len() {
+		t.Fatalf("shard entries sum to %d, Len() = %d", entries, c.Len())
+	}
+}

@@ -99,6 +99,29 @@ func TestServiceDoesNotCacheDeadlineErrors(t *testing.T) {
 	}
 }
 
+// TestServiceMidFlightDeadlineReconciles cuts a computation down mid-DP
+// through the Service and asserts the cancellation path keeps the
+// CacheStats algebra exact: the miss inserted an entry, the removal took
+// it back out, and nothing else moved. (The expired-deadline path in the
+// test above never reaches the cache at all, so this is the only route to
+// a nonzero Removals outside a panic.)
+func TestServiceMidFlightDeadlineReconciles(t *testing.T) {
+	c, terms := hardInstance(t)
+	svc := core.NewService(c)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Connect(ctx, terms); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	st := svc.Stats()
+	if st.Misses != 1 || st.Removals != 1 || st.Entries != 0 {
+		t.Fatalf("after mid-flight deadline: %+v, want 1 miss, 1 removal, 0 entries", st)
+	}
+	assertStatsReconcile(t, st, 1)
+}
+
 // TestInterpretationsHonorContext covers the second exponential loop of
 // the v2 contract: the ranked-cover enumeration.
 func TestInterpretationsHonorContext(t *testing.T) {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/steiner"
+)
+
+// tinyScheme is a two-attribute, one-relation scheme: the cheapest
+// possible computation, so these tests exercise the cache bookkeeping and
+// not the solver.
+func tinyScheme() *bipartite.Graph {
+	b := bipartite.New()
+	e := b.AddV1("ename")
+	f := b.AddV1("floor")
+	w := b.AddV2("works")
+	b.AddEdge(e, w)
+	b.AddEdge(f, w)
+	return b
+}
+
+// TestPanicPathReconciles drives the one compute path that cannot be
+// reached through the public API — a panic inside the computation — by
+// handing connectWith a shared-work provider that blows up (the provider
+// runs inside the panic-protected compute region). The recovery must
+// evict the half-built entry, count it as a removal so the residency
+// algebra still reconciles, and leave the key clean for the next caller.
+func TestPanicPathReconciles(t *testing.T) {
+	svc := NewService(New(tinyScheme()))
+	terms := []int{0, 1}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panicking provider did not propagate")
+			}
+		}()
+		boom := func() *steiner.Shared { panic("injected") }
+		_, _ = svc.connectWith(context.Background(), terms, newQueryConfig(nil), boom)
+	}()
+
+	st := svc.Stats()
+	if st.Misses != 1 || st.Removals != 1 || st.Entries != 0 {
+		t.Fatalf("after panic: %+v, want 1 miss, 1 removal, 0 entries", st)
+	}
+	if st.Hits+st.Misses+st.Bypasses != 1 {
+		t.Fatalf("lookup accounting off after panic: %+v", st)
+	}
+	if uint64(st.Entries) != st.Misses-st.Evictions-st.Removals {
+		t.Fatalf("residency accounting off after panic: %+v", st)
+	}
+
+	// The key must not stay poisoned: the same query computes fresh.
+	if _, err := svc.Connect(context.Background(), terms); err != nil {
+		t.Fatalf("query after panic recovery failed: %v", err)
+	}
+	st = svc.Stats()
+	if st.Misses != 2 || st.Entries != 1 || st.Removals != 1 {
+		t.Fatalf("after retry: %+v, want 2 misses, 1 entry, 1 removal", st)
+	}
+}

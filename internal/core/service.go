@@ -52,6 +52,12 @@ type Service struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	bypasses atomic.Uint64
+	// removals counts entries deliberately evicted because their outcome
+	// must not be cached — cancellation results and panicked computations.
+	// It closes the residency algebra (see CacheStats) on those paths:
+	// every miss inserts one entry, and every entry leaves either by
+	// capacity eviction or by a removal.
+	removals atomic.Uint64
 }
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
@@ -175,7 +181,9 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 			// blocked on done forever; the panic itself keeps propagating
 			// to this caller.
 			ent.err = fmt.Errorf("core: Connect panicked for cache key %q", key)
-			s.cache.Remove(key, ent)
+			if s.cache.Remove(key, ent) {
+				s.removals.Add(1)
+			}
 			close(ent.done)
 		}()
 		ent.conn, ent.err = compute(ctx)
@@ -185,7 +193,9 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 			// outcome must find the key absent when they retry. Remove is
 			// conditional on entry identity, so a concurrent capacity
 			// eviction plus re-insert is never clobbered.
-			s.cache.Remove(key, ent)
+			if s.cache.Remove(key, ent) {
+				s.removals.Add(1)
+			}
 		}
 		close(ent.done)
 		return ent.conn, ent.err
@@ -247,20 +257,38 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 	return out
 }
 
-// CacheStats is a point-in-time snapshot of the answer cache.
+// CacheStats is a point-in-time snapshot of the answer cache. The
+// counters satisfy an exact reconciliation algebra (asserted by the test
+// harness and exported on /metrics): every cache-path request counts as
+// exactly one of Hits/Misses/Bypasses, every miss inserts one entry, and
+// every entry leaves by capacity eviction (Evictions) or deliberate
+// removal (Removals) — so Entries == Misses − Evictions − Removals.
 type CacheStats struct {
 	Hits      uint64 // lookups that found an entry (including in-flight)
 	Misses    uint64 // lookups that started a computation
 	Evictions uint64 // entries dropped by LRU capacity pressure, all shards
 	Bypasses  uint64 // queries answered around the cache (WithCacheBypass)
-	Entries   int    // entries currently resident (including in-flight)
-	Shards    int    // lock shards (WithCacheShards; always a power of two)
-	Capacity  int    // effective capacity: per-shard capacity × Shards
+	// Removals counts entries deliberately evicted because their outcome
+	// must not be cached: computations that ended in a cancellation error
+	// (the next caller retries with its own budget) or in a panic (the
+	// key must not stay poisoned).
+	Removals uint64
+	Entries  int // entries currently resident (including in-flight)
+	Shards   int // lock shards (WithCacheShards; always a power of two)
+	Capacity int // effective capacity: per-shard capacity × Shards
 	// ShardEntries is the per-shard resident-entry count, in shard order
 	// (sums to Entries). Uniform traffic should fill shards about evenly;
 	// persistent skew means the key space is hashing badly.
 	ShardEntries []int
 }
+
+// ShardStats returns the answer cache's per-shard hit/miss/eviction
+// counters and occupancy, in shard order — the source for the per-shard
+// /metrics series. Shard hits sum to Stats().Hits and shard misses to
+// Stats().Misses: Service counts a hit exactly when the key's shard does
+// (including an in-flight-dedup retry, which runs one more lookup at both
+// levels). Bypasses never touch the cache, so they have no shard.
+func (s *Service) ShardStats() []cache.ShardStat { return s.cache.ShardStats() }
 
 // Stats returns current cache counters. A hit counts any lookup that found
 // an entry, including one still in flight. Counters are read atomically so
@@ -278,6 +306,7 @@ func (s *Service) Stats() CacheStats {
 		Misses:       s.misses.Load(),
 		Evictions:    s.cache.Evictions(),
 		Bypasses:     s.bypasses.Load(),
+		Removals:     s.removals.Load(),
 		Entries:      entries,
 		Shards:       s.cache.Shards(),
 		Capacity:     s.cache.Capacity(),

@@ -104,7 +104,7 @@ func TestShardedCacheEquivalence(t *testing.T) {
 		st1, stN := svc1.Stats(), svcN.Stats()
 		if st1.Hits != stN.Hits || st1.Misses != stN.Misses ||
 			st1.Evictions != stN.Evictions || st1.Bypasses != stN.Bypasses ||
-			st1.Entries != stN.Entries {
+			st1.Removals != stN.Removals || st1.Entries != stN.Entries {
 			t.Fatalf("scheme %d: aggregate stats diverge across shard counts:\nshards=1: %+v\nsharded:  %+v", i, st1, stN)
 		}
 	}
@@ -174,19 +174,20 @@ func TestShardedCacheHammerRace(t *testing.T) {
 }
 
 // assertStatsReconcile checks the counter algebra every CacheStats must
-// satisfy after a cancellation-free run of total requests: each request
-// counts exactly once (hit, miss or bypass), every miss inserted exactly
-// one entry and only capacity evictions removed any, and the per-shard
-// occupancy is the entry count, within capacity.
+// satisfy after a run of total requests: each request counts exactly once
+// (hit, miss or bypass), every miss inserted exactly one entry, every
+// entry left by capacity eviction or deliberate removal (cancellation and
+// panic outcomes), and the per-shard occupancy is the entry count, within
+// capacity.
 func assertStatsReconcile(t *testing.T, st core.CacheStats, total uint64) {
 	t.Helper()
 	if st.Hits+st.Misses+st.Bypasses != total {
 		t.Errorf("lookup accounting off: hits %d + misses %d + bypasses %d != %d requests (%+v)",
 			st.Hits, st.Misses, st.Bypasses, total, st)
 	}
-	if uint64(st.Entries) != st.Misses-st.Evictions {
-		t.Errorf("residency accounting off: entries %d != misses %d - evictions %d (%+v)",
-			st.Entries, st.Misses, st.Evictions, st)
+	if uint64(st.Entries) != st.Misses-st.Evictions-st.Removals {
+		t.Errorf("residency accounting off: entries %d != misses %d - evictions %d - removals %d (%+v)",
+			st.Entries, st.Misses, st.Evictions, st.Removals, st)
 	}
 	if st.Entries > st.Capacity {
 		t.Errorf("over capacity: %d > %d (%+v)", st.Entries, st.Capacity, st)

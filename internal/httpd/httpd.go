@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graphio"
+	"repro/internal/metrics"
 	"repro/internal/snapshot"
 )
 
@@ -38,6 +39,14 @@ type Handler struct {
 	maxSnapshot int64
 	maxTimeout  time.Duration
 	schemeOpts  []core.Option
+
+	// Observability (metrics.go). met is the scrape registry behind
+	// GET /metrics; the named instruments are the ones the request path
+	// touches directly.
+	met      *metrics.Registry
+	solveDur *metrics.Histogram // query-endpoint latency; drives Retry-After
+	sheds    *metrics.Counter
+	swaps    *metrics.Counter
 }
 
 // HandlerOption configures New.
@@ -96,12 +105,14 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 	for _, o := range opts {
 		o(h)
 	}
+	h.initMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/connect", h.handleConnect)
 	mux.HandleFunc("POST /v1/batch", h.handleBatch)
 	mux.HandleFunc("POST /v1/interpretations", h.handleInterpretations)
 	mux.HandleFunc("GET /v1/schemes", h.handleSchemes)
 	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	mux.HandleFunc("GET /metrics", h.handleMetrics)
 	mux.HandleFunc("GET /v1/schemes/{name}/snapshot", h.handleSnapshotDownload)
 	mux.HandleFunc("PUT /v1/schemes/{name}", h.handleSchemeUpload)
 	mux.HandleFunc("DELETE /v1/schemes/{name}", h.handleSchemeDelete)
@@ -111,24 +122,40 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 
 // ServeHTTP applies the in-flight limiter, then routes. Shedding happens
 // before routing so an overloaded server does even less work per rejected
-// request. Read-only GETs (/v1/schemes, /v1/stats) are exempt: they do no
-// solver work, and monitoring must keep answering precisely when the
-// limiter is rejecting query traffic. Snapshot downloads are the
+// request. Read-only GETs (/v1/schemes, /v1/stats, /metrics) are exempt:
+// they do no solver work, and monitoring must keep answering precisely
+// when the limiter is rejecting query traffic. Snapshot downloads are the
 // exception among GETs — each one buffers a full encoded epoch, so they
 // take a limiter slot like any other expensive request.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	endpoint := endpointLabel(r)
 	if h.sem != nil && (r.Method != http.MethodGet || strings.HasSuffix(r.URL.Path, "/snapshot")) {
 		select {
 		case h.sem <- struct{}{}:
 			defer func() { <-h.sem }()
 		default:
-			w.Header().Set("Retry-After", "1")
+			// Sheds count on requests_total (code 429) but not the duration
+			// histogram: no routed work happened, and a flood of free
+			// rejections would drag the latency distribution toward zero.
+			h.sheds.Inc()
+			h.met.Counter(MetricRequestsTotal,
+				"HTTP requests by endpoint, method and status code.",
+				metrics.L("endpoint", endpoint), metrics.L("method", r.Method),
+				metrics.L("code", strconv.Itoa(http.StatusTooManyRequests))).Inc()
+			w.Header().Set("Retry-After", h.retryAfterSeconds())
 			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 				"server is at its in-flight request limit")
 			return
 		}
 	}
-	h.mux.ServeHTTP(w, r)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	h.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 { // handler never wrote; net/http implies 200
+		status = http.StatusOK
+	}
+	h.observeRequest(endpoint, r.Method, status, time.Since(start))
 }
 
 // resolveScheme looks the scheme up, defaulting to the sole registered
@@ -441,6 +468,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:       st.Misses,
 			Evictions:    st.Evictions,
 			Bypasses:     st.Bypasses,
+			Removals:     st.Removals,
 			Entries:      st.Entries,
 			Shards:       st.Shards,
 			Capacity:     st.Capacity,
@@ -500,8 +528,9 @@ func (h *Handler) handleSchemeUpload(w http.ResponseWriter, r *http.Request) {
 	// returns this install's own epoch, so concurrent admin calls racing on
 	// the same name can never misattribute the response (a readback via
 	// Epoch/Source could observe a later install).
+	start := time.Now()
 	var svc *core.Service
-	var source string
+	var source, kind string
 	if snapshot.IsSnapshot(data) {
 		snap, err := snapshot.Decode(data)
 		if err != nil {
@@ -510,6 +539,7 @@ func (h *Handler) handleSchemeUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		svc = core.OpenSnapshot(snap, h.schemeOpts...)
 		source = core.SourceSnapshot(snap.Version)
+		kind = "snapshot"
 	} else {
 		b, err := graphio.ReadBipartite(bytes.NewReader(data))
 		if err != nil {
@@ -518,8 +548,14 @@ func (h *Handler) handleSchemeUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		svc = core.Open(b, h.schemeOpts...)
 		source = core.SourceCompiled
+		kind = "compiled"
 	}
 	epoch := h.reg.Swap(name, svc, source)
+	h.swaps.Inc()
+	h.met.Histogram(MetricInstallDuration,
+		"Time to decode/compile and atomically install an uploaded scheme.",
+		metrics.DefLatencyBounds(), metrics.L("source", kind)).
+		ObserveDuration(time.Since(start))
 	writeJSON(w, http.StatusOK, UploadResponse{
 		Scheme: name,
 		Epoch:  epoch,

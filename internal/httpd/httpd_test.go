@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -183,8 +184,10 @@ func TestInFlightLimiterSheds(t *testing.T) {
 	h := New(testRegistry(), WithMaxInFlight(1))
 	h.sem <- struct{}{} // occupy the only slot
 	w := do(t, h, "POST", "/v1/connect", `{"scheme":"lib","terminals":[0]}`)
+	// Retry-After derives from the observed p50 solve latency; with no
+	// traffic observed yet it must fall back to the 1-second floor.
 	if got := w.Header().Get("Retry-After"); got != "1" {
-		t.Errorf("Retry-After = %q, want \"1\"", got)
+		t.Errorf("idle Retry-After = %q, want \"1\"", got)
 	}
 	decodeError(t, w, http.StatusTooManyRequests, CodeOverloaded)
 	// Monitoring GETs are exempt: they must answer during overload.
@@ -194,9 +197,47 @@ func TestInFlightLimiterSheds(t *testing.T) {
 	if w := do(t, h, "GET", "/v1/stats", ""); w.Code != http.StatusOK {
 		t.Fatalf("GET /v1/stats during overload: status = %d", w.Code)
 	}
+	if w := do(t, h, "GET", "/metrics", ""); w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics during overload: status = %d", w.Code)
+	}
 	<-h.sem
 	if w := do(t, h, "POST", "/v1/connect", `{"scheme":"lib","terminals":[0]}`); w.Code != http.StatusOK {
 		t.Fatalf("after release: status = %d", w.Code)
+	}
+}
+
+// TestRetryAfterTracksServiceTime pins the derivation rule: the header is
+// the observed p50 solve latency rounded up to whole seconds, floored at
+// one. Observations are injected straight into the handler's histogram —
+// the test pins the derivation, not the solver's speed.
+func TestRetryAfterTracksServiceTime(t *testing.T) {
+	h := New(testRegistry(), WithMaxInFlight(1))
+	for i := 0; i < 100; i++ {
+		h.solveDur.Observe(2.2)
+	}
+	h.sem <- struct{}{}
+	w := do(t, h, "POST", "/v1/connect", `{"scheme":"lib","terminals":[0]}`)
+	decodeError(t, w, http.StatusTooManyRequests, CodeOverloaded)
+	got := w.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(got)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want integer seconds", got)
+	}
+	// p50 lands in the histogram bucket containing 2.2s; ceil of any
+	// point in that bucket is 2..4 depending on interpolation, and must
+	// certainly exceed the idle floor of 1.
+	if secs < 2 || secs > 4 {
+		t.Fatalf("Retry-After = %d, want ceil(p50≈2.2s) in [2,4]", secs)
+	}
+	// Sub-second service times stay floored at 1 second.
+	h2 := New(testRegistry(), WithMaxInFlight(1))
+	for i := 0; i < 100; i++ {
+		h2.solveDur.Observe(0.003)
+	}
+	h2.sem <- struct{}{}
+	w = do(t, h2, "POST", "/v1/connect", `{"scheme":"lib","terminals":[0]}`)
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("fast-path Retry-After = %q, want \"1\" (floor)", got)
 	}
 }
 

@@ -168,17 +168,21 @@ type SchemesResponse struct {
 }
 
 // SchemeStats is one scheme's cache counters in GET /v1/stats. Counter
-// totals (hits/misses/evictions/bypasses) aggregate atomically across the
-// cache's lock shards; shard_entries is the per-shard resident-entry
-// occupancy, in shard order, summing to entries. capacity is the
-// effective answer-cache capacity — the configured size rounded up to a
-// multiple of the shard count (minimum one entry per shard).
+// totals (hits/misses/evictions/bypasses/removals) aggregate atomically
+// across the cache's lock shards and satisfy the reconciliation algebra
+// documented on core.CacheStats (hits+misses+bypasses == requests;
+// entries == misses − evictions − removals); shard_entries is the
+// per-shard resident-entry occupancy, in shard order, summing to entries.
+// capacity is the effective answer-cache capacity — the configured size
+// rounded up to a multiple of the shard count (minimum one entry per
+// shard).
 type SchemeStats struct {
 	Epoch        uint64 `json:"epoch"`
 	Hits         uint64 `json:"hits"`
 	Misses       uint64 `json:"misses"`
 	Evictions    uint64 `json:"evictions"`
 	Bypasses     uint64 `json:"bypasses"`
+	Removals     uint64 `json:"removals"`
 	Entries      int    `json:"entries"`
 	Shards       int    `json:"shards"`
 	Capacity     int    `json:"capacity"`

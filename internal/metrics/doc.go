@@ -1,0 +1,30 @@
+// Package metrics is the repo's dependency-free observability kit:
+// atomic counters, gauges and fixed-bucket latency histograms, collected
+// in a Registry that renders the Prometheus text exposition format
+// (version 0.0.4) for a GET /metrics scrape.
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies. The serving stack must stay a pure stdlib build,
+//     so this package implements the small slice of the Prometheus client
+//     surface the repo actually uses rather than importing one.
+//   - Hot-path instruments are lock-free. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations (Observe is two: a
+//     bucket increment and a sum add), so instrumenting the request path
+//     adds no lock that the sharded answer cache just removed. The
+//     Registry mutex guards registration and scrape walks only.
+//   - Histograms are fixed-bucket with exponential bounds
+//     (ExponentialBounds), the standard shape for service latency: the
+//     bucket layout is chosen at construction and never reallocated, so
+//     Observe is an index computation plus two atomic adds. Quantile
+//     estimates (p50/p95/p99) interpolate linearly inside the bucket that
+//     spans the requested rank — the same estimate Prometheus's
+//     histogram_quantile computes server-side — which is what the
+//     Retry-After derivation and the load harness report use.
+//
+// Dynamic label sets (one series per registered scheme, where schemes
+// come and go at runtime via the admin endpoints) are bridged with
+// CounterFunc/GaugeFunc: the callback produces the current samples at
+// scrape time, so the metrics surface never holds its own copy of state
+// the Registry or cache already owns.
+package metrics

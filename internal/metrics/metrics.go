@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use and lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative-count latency histogram.
+// Observations are in seconds (the Prometheus convention); bucket bounds
+// are chosen at construction and never change, so Observe is one bucket
+// search plus two atomic adds — no locks, no allocation. Construct with
+// NewHistogram; the zero value is not usable.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, sorted
+	// ascending; counts has one extra slot for the implicit +Inf bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sumNanos accumulates the observation sum in integer nanoseconds so
+	// it can be a plain atomic add; rendered as seconds. Latencies far
+	// beyond histogram range would need ~292 years of observed time to
+	// overflow int64 nanoseconds.
+	sumNanos atomic.Int64
+}
+
+// NewHistogram returns a Histogram over the given finite upper bounds
+// (seconds). Bounds are copied, sorted and deduplicated; an implicit +Inf
+// bucket is always appended. Panics when no bounds are given — a
+// histogram with only +Inf cannot estimate anything.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: NewHistogram needs at least one finite bucket bound")
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:1]
+	for _, b := range bs[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{
+		bounds: uniq,
+		counts: make([]atomic.Uint64, len(uniq)+1),
+	}
+}
+
+// ExponentialBounds returns n upper bounds starting at start and growing
+// by factor: start, start·factor, start·factor², … — the standard layout
+// for service latency, where useful resolution is relative, not absolute.
+// Panics unless start > 0, factor > 1 and n ≥ 1.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExponentialBounds needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// DefLatencyBounds is the default latency bucket layout: 100µs to ~105s
+// in 21 exponential steps of factor 2 — wide enough to span a warm cache
+// hit (tens of µs) and an exact Dreyfus–Wagner solve running into a
+// 30-second deadline, with ~2× relative resolution everywhere between.
+func DefLatencyBounds() []float64 { return ExponentialBounds(100e-6, 2, 21) }
+
+// Observe records one observation (seconds).
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the +Inf bucket is the
+	// fallthrough index len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(v * 1e9))
+}
+
+// ObserveDuration records one observed duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations, in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// snapshot loads every bucket count once. Loads are individually atomic
+// but not mutually consistent under concurrent writes — the usual (and
+// fine) monitoring trade-off.
+func (h *Histogram) snapshot() (counts []uint64, total uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// Quantile estimates the q-quantile (0 < q < 1, e.g. 0.5 for p50, 0.99
+// for p99) in seconds by linear interpolation inside the bucket that
+// spans the requested rank — the same estimate Prometheus's
+// histogram_quantile produces. Returns 0 when the histogram is empty.
+// Observations in the +Inf bucket are reported as the largest finite
+// bound (the estimate cannot exceed what the layout can resolve).
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket: clamp to the largest finite bound
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// inf is the +Inf bound rendered for the cumulative bucket.
+var inf = math.Inf(1)

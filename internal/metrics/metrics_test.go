@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bounds[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBounds(0, 2, 3) },
+		func() { ExponentialBounds(1, 1, 3) },
+		func() { ExponentialBounds(1, 2, 0) },
+		func() { NewHistogram(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramCountsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005)                         // bucket 0
+	h.Observe(0.05)                          // bucket 1
+	h.Observe(0.5)                           // bucket 2
+	h.Observe(5)                             // +Inf bucket
+	h.ObserveDuration(10 * time.Millisecond) // exactly on a bound: cumulative in bucket 0
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 5.565; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	counts, total := h.snapshot()
+	if total != 5 {
+		t.Fatalf("snapshot total = %d", total)
+	}
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, c := range counts {
+		if c != wantCounts[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, wantCounts)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(0.001, 2, 12))
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", got)
+	}
+	// 100 observations uniform in (0.001, 0.002]: all land in the second
+	// bucket, so p50 interpolates to its midpoint.
+	for i := 1; i <= 100; i++ {
+		h.Observe(0.001 + 0.001*float64(i)/100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.0015) > 1e-9 {
+		t.Fatalf("p50 = %g, want 0.0015 (bucket midpoint)", got)
+	}
+	if p99, p50 := h.Quantile(0.99), h.Quantile(0.5); p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	// Observations beyond every finite bound clamp to the largest bound.
+	over := NewHistogram([]float64{0.01, 0.1})
+	over.Observe(50)
+	if got := over.Quantile(0.99); got != 0.1 {
+		t.Fatalf("overflow p99 = %g, want 0.1 (largest finite bound)", got)
+	}
+}
+
+// TestHistogramQuantileMonotone drives a realistic latency mix and checks
+// the estimator's ordering property plus bracketing by the bucket layout.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(DefLatencyBounds())
+	lat := []float64{0.0002, 0.0003, 0.0005, 0.001, 0.002, 0.004, 0.030, 0.250}
+	for i := 0; i < 1000; i++ {
+		h.Observe(lat[i%len(lat)])
+	}
+	last := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantiles not monotone: q=%g -> %g after %g", q, v, last)
+		}
+		last = v
+	}
+	if p50 := h.Quantile(0.5); p50 < 0.0002 || p50 > 0.030 {
+		t.Fatalf("p50 = %g outside plausible range of the input mix", p50)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("chordal_test_requests_total", "Requests served.", L("endpoint", "/v1/connect"))
+	c.Add(3)
+	r.Counter("chordal_test_requests_total", "Requests served.", L("endpoint", "/v1/batch")).Add(1)
+	g := r.Gauge("chordal_test_inflight", "In-flight requests.")
+	g.Set(2)
+	h := r.Histogram("chordal_test_latency_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.GaugeFunc("chordal_test_epoch", "Current epoch per scheme.", func() []Sample {
+		return []Sample{{Labels: []Label{L("scheme", "lib")}, Value: 4}}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP chordal_test_requests_total Requests served.\n# TYPE chordal_test_requests_total counter\n",
+		`chordal_test_requests_total{endpoint="/v1/connect"} 3`,
+		`chordal_test_requests_total{endpoint="/v1/batch"} 1`,
+		"# TYPE chordal_test_inflight gauge",
+		"chordal_test_inflight 2",
+		"# TYPE chordal_test_latency_seconds histogram",
+		`chordal_test_latency_seconds_bucket{le="0.01"} 1`,
+		`chordal_test_latency_seconds_bucket{le="0.1"} 2`,
+		`chordal_test_latency_seconds_bucket{le="+Inf"} 3`,
+		"chordal_test_latency_seconds_sum 5.055",
+		"chordal_test_latency_seconds_count 3",
+		`chordal_test_epoch{scheme="lib"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Same name+labels must return the same instrument.
+	if again := r.Counter("chordal_test_requests_total", "Requests served.", L("endpoint", "/v1/connect")); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Same name, different type must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type collision did not panic")
+			}
+		}()
+		r.Gauge("chordal_test_requests_total", "oops")
+	}()
+}
+
+// TestRegistryConcurrentScrape hammers instruments while scraping; run
+// under -race this pins the lock-free hot path against the snapshot walk.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("chordal_test_total", "t")
+	h := r.Histogram("chordal_test_lat_seconds", "t", DefLatencyBounds())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+		if i%10 == 9 { // registration may race scrapes too
+			r.Counter("chordal_test_total", "t", L("i", string(rune('a'+i))))
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4*2000 {
+		t.Fatalf("counter = %d, want %d", got, 4*2000)
+	}
+	if got := h.Count(); got != 4*2000 {
+		t.Fatalf("histogram count = %d, want %d", got, 4*2000)
+	}
+}

@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
 # Pinned benchmark trajectory: run the serving-path benchmarks every PR
 # cares about (mutable-vs-frozen solver cost, hot cache serving, batch
-# throughput, and the bit-parallel kernels against their CSR fallbacks)
-# and distill ns/op, B/op and allocs/op into a machine-readable JSON file
-# so perf changes leave a diffable trail next to the code.
+# throughput, and the bit-parallel kernels against their CSR fallbacks),
+# then fold them together with a chordalctl load-harness run into one
+# schema-versioned BENCH_<tag>.json so perf changes leave a diffable,
+# attributable trail next to the code.
 #
-# Usage: scripts/bench_trajectory.sh [out.json]
-#   BENCHTIME=2s scripts/bench_trajectory.sh   # longer, steadier runs
-#   BENCH_TAG=pr8 scripts/bench_trajectory.sh  # default name BENCH_pr8.json
+# BENCH_TAG is mandatory: an earlier version defaulted it to the previous
+# PR's tag, which silently overwrote that PR's trajectory file on every
+# re-run. Files are append-only now — the script refuses to clobber an
+# existing output unless FORCE=1.
+#
+# Usage: BENCH_TAG=pr9 scripts/bench_trajectory.sh [out.json]
+#   BENCHTIME=2s BENCH_TAG=pr9 scripts/bench_trajectory.sh  # steadier runs
+#   LOAD_DURATION=5s BENCH_TAG=pr9 scripts/bench_trajectory.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BENCH_TAG=${BENCH_TAG:-pr7}
+: "${BENCH_TAG:?set BENCH_TAG (e.g. BENCH_TAG=pr9) — trajectory files are named and compared by tag}"
 OUT=${1:-BENCH_${BENCH_TAG}.json}
 BENCHTIME=${BENCHTIME:-0.5s}
+LOAD_DURATION=${LOAD_DURATION:-2s}
+if [ -e "$OUT" ] && [ "${FORCE:-0}" != 1 ]; then
+  echo "bench_trajectory: $OUT already exists; trajectories are append-only (FORCE=1 to overwrite)" >&2
+  exit 1
+fi
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+MICRO=$(mktemp)
+trap 'rm -f "$RAW" "$MICRO"' EXIT
 
 # Each invocation pins one package's benchmark set; -run 'xxx' skips the
 # tests so only benchmarks execute.
@@ -30,7 +42,8 @@ trap 'rm -f "$RAW"' EXIT
 
 # Distill "BenchmarkX/sub-8  N  ns/op  B/op  allocs/op" lines into JSON.
 # The -<GOMAXPROCS> suffix is stripped so trajectories diff cleanly across
-# machines with different core counts.
+# machines with different core counts (the header's "cores" block records
+# the actual budget).
 awk -v benchtime="$BENCHTIME" '
   BEGIN { printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime }
   /^Benchmark/ && / ns\/op/ {
@@ -51,6 +64,13 @@ awk -v benchtime="$BENCHTIME" '
     if (count == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
     printf "\n  ]\n}\n"
   }
-' "$RAW" > "$OUT"
+' "$RAW" > "$MICRO"
 
-echo "bench_trajectory: wrote $(grep -c '"name"' "$OUT") benchmarks to $OUT"
+# The load harness boots a real server, drives the multi-tenant workload,
+# and writes the final schema-v2 file: header (schema_version, tag,
+# cores), the micro rows above, and cold/warm serving measurements.
+rm -f "$OUT" # FORCE=1 path: chordalctl itself also refuses to overwrite
+go run ./cmd/chordalctl -load self -load-duration "$LOAD_DURATION" \
+  -bench-merge "$MICRO" -bench-tag "$BENCH_TAG" -bench-out "$OUT"
+
+echo "bench_trajectory: wrote $(grep -c '"name"' "$OUT") benchmarks + serving report to $OUT"

@@ -84,6 +84,32 @@ GOT="$WORK/got.txt"
   req stats              GET  /v1/stats
 } > "$GOT"
 
+# /metrics smoke: histogram values vary run to run, so the scrape stays
+# out of the golden diff — instead assert every required family is
+# present and the traffic above left nonzero counts where it must have.
+METRICS="$WORK/metrics.txt"
+curl -sS "$BASE/metrics" > "$METRICS"
+for series in \
+  'chordal_http_requests_total{endpoint="/v1/connect",method="POST",code="200"}' \
+  'chordal_http_requests_total{endpoint="/v1/connect",method="POST",code="404"}' \
+  'chordal_http_request_duration_seconds_count{endpoint="/v1/connect",method="POST"}' \
+  'chordal_solve_duration_seconds_count' \
+  'chordal_cache_hits_total{scheme="library"}' \
+  'chordal_cache_misses_total{scheme="library"}' \
+  'chordal_scheme_epoch{scheme="tiny"}'
+do
+  grep -qF "$series" "$METRICS" || { echo "/metrics missing series: $series" >&2; cat "$METRICS" >&2; exit 1; }
+  val=$(grep -F "$series " "$METRICS" | awk '{print $NF}')
+  awk -v v="$val" 'BEGIN { exit (v > 0) ? 0 : 1 }' \
+    || { echo "/metrics series $series = $val, want > 0" >&2; exit 1; }
+done
+# The per-shard decomposition exists (values depend on key hashing).
+grep -qF 'chordal_cache_shard_entries{scheme="library",shard="3"}' "$METRICS" \
+  || { echo "/metrics missing per-shard series for the 4-shard cache" >&2; exit 1; }
+grep -q 'chordal_http_inflight_limit 256' "$METRICS" \
+  || { echo "/metrics inflight limit should be the serve default (256)" >&2; exit 1; }
+echo "metrics smoke OK ($(grep -c '^chordal_' "$METRICS") series)"
+
 # Graceful shutdown: SIGTERM must produce a clean exit.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "server exited non-zero after SIGTERM" >&2; cat "$WORK/server.log" >&2; exit 1; }

@@ -40,5 +40,9 @@ grep -q '"labels":\["reader","book","author","borrows","wrote"\]' "$OUT" ||
   { echo "readme_e2e: HTTP answer does not connect reader-author through book" >&2; exit 1; }
 grep -Eq 'scheme "library" \(epoch 1' "$OUT" ||
   { echo "readme_e2e: snapshot boot did not describe the library scheme" >&2; exit 1; }
+grep -Eq '^[1-9][0-9]*$' "$OUT" ||
+  { echo "readme_e2e: /metrics scrape counted no chordal_ series" >&2; exit 1; }
+grep -q 'load: warm' "$OUT" ||
+  { echo "readme_e2e: load-harness summary missing from quickstart output" >&2; exit 1; }
 
 echo "readme e2e OK"
