@@ -22,6 +22,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/httpd"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // loadConfig carries the -load flags into runLoad.
@@ -75,6 +76,21 @@ type phaseReport struct {
 	// over the phase — server and client side together, so it is only
 	// measured (and only meaningful) in self mode.
 	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
+	// TracedRequests counts the requests this phase marked with a sampled
+	// traceparent and found back on the target's /v1/traces ring; Phases
+	// aggregates their server-side span durations by phase name. Both are
+	// absent against servers that do not trace.
+	TracedRequests int                       `json:"traced_requests,omitempty"`
+	Phases         map[string]phaseQuantiles `json:"phases,omitempty"`
+}
+
+// phaseQuantiles summarizes one server-side phase (span name) across the
+// phase's traced requests, milliseconds.
+type phaseQuantiles struct {
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
 }
 
 // servingReport is the "serving" block of the report: the cold pass
@@ -126,8 +142,13 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout, stderr io.Writer, sche
 		srvCtx, stopSrv := context.WithCancel(ctx)
 		srvDone := make(chan error, 1)
 		// Unlimited in-flight: the harness measures solver and cache
-		// throughput, and shed 429s would poison the latency sample.
-		h := httpd.New(reg, httpd.WithMaxInFlight(0), httpd.WithSchemeOptions(schemeOpts...))
+		// throughput, and shed 429s would poison the latency sample. The
+		// tracer never head-samples on its own (SampleProb 0) — only the
+		// requests the driver marks with a sampled traceparent are
+		// retained, over a ring deep enough to survive a fast warm phase.
+		tracer := trace.New(trace.Config{RingSize: 4096, Seed: uint64(cfg.seed) + 1})
+		h := httpd.New(reg, httpd.WithMaxInFlight(0), httpd.WithSchemeOptions(schemeOpts...),
+			httpd.WithTracer(tracer))
 		go func() { srvDone <- httpd.Serve(srvCtx, ln, h, 0) }()
 		defer func() {
 			stopSrv()
@@ -160,6 +181,7 @@ func runLoad(ctx context.Context, cfg loadConfig, stdout, stderr io.Writer, sche
 	d := &loadDriver{
 		base:   base,
 		client: &http.Client{Timeout: 30 * time.Second},
+		seed:   cfg.seed,
 	}
 
 	// Cold pass: every pool query exactly once, shuffled across schemes,
@@ -353,8 +375,64 @@ func distinctInts(r *rand.Rand, n, k int) []int {
 // loadDriver issues pool queries against one target and snapshots its
 // cache counters around each phase.
 type loadDriver struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	seed    int64
+	tracker *traceTracker // current phase's traceparent marking; nil between phases
+}
+
+// traceMarkEvery is the driver's traceparent marking stride: one request
+// in this many carries a sampled traceparent, forcing the server to
+// retain its trace. Sparse enough not to perturb the measurement, dense
+// enough that even the cold pass yields phase samples.
+const traceMarkEvery = 16
+
+// traceTracker hands out deterministic sampled traceparent headers for
+// a fraction of a phase's requests and remembers the trace ids issued,
+// so the phase can later recognize its own traces on /v1/traces. A nil
+// tracker marks nothing.
+type traceTracker struct {
+	seed uint64
+	n    atomic.Uint64
+	mu   sync.Mutex
+	ids  map[string]bool
+}
+
+func newTraceTracker(seed int64, phase string) *traceTracker {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 0x517cc1b727220a95
+	for _, c := range phase {
+		h = (h ^ uint64(c)) * 0x9e3779b97f4a7c15
+	}
+	return &traceTracker{seed: h | 1, ids: map[string]bool{}}
+}
+
+// mark returns the traceparent header for this request, or "" for the
+// (15 of 16) requests that travel unmarked.
+func (t *traceTracker) mark() string {
+	if t == nil {
+		return ""
+	}
+	n := t.n.Add(1)
+	if n%traceMarkEvery != 0 {
+		return ""
+	}
+	// seed|1 keeps the id's high half nonzero, so the id as a whole can
+	// never be the all-zero id the W3C spec rejects.
+	tid := fmt.Sprintf("%016x%016x", t.seed, n)
+	t.mu.Lock()
+	t.ids[tid] = true
+	t.mu.Unlock()
+	return fmt.Sprintf("00-%s-%016x-01", tid, n)
+}
+
+// collect reports whether tid is one of this tracker's marked requests.
+func (t *traceTracker) has(tid string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ids[tid]
 }
 
 // runPhase measures one phase: wall time, client-side latency histogram,
@@ -365,6 +443,7 @@ func (d *loadDriver) runPhase(ctx context.Context, cfg loadConfig, name string, 
 	if err != nil {
 		return phaseReport{}, fmt.Errorf("-load: stats before %s phase: %w", name, err)
 	}
+	d.tracker = newTraceTracker(cfg.seed, name)
 	hist := metrics.NewHistogram(metrics.DefLatencyBounds())
 	var requests, errors atomic.Int64
 	var m0, m1 runtime.MemStats
@@ -412,7 +491,64 @@ func (d *loadDriver) runPhase(ctx context.Context, cfg loadConfig, name string, 
 	if cfg.target == "self" {
 		rep.AllocsPerRequest = float64(m1.Mallocs-m0.Mallocs) / float64(n)
 	}
+	rep.Phases, rep.TracedRequests = d.phaseSpans(ctx, d.tracker)
+	d.tracker = nil
 	return rep, nil
+}
+
+// phaseSpans fetches the target's recent traces and aggregates the span
+// durations of this phase's marked requests into per-phase-name latency
+// quantiles. Best-effort by design: a target without tracing (or whose
+// ring already evicted our traces) just yields no phase breakdown.
+func (d *loadDriver) phaseSpans(ctx context.Context, tk *traceTracker) (map[string]phaseQuantiles, int) {
+	if tk == nil {
+		return nil, 0
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/traces", nil)
+	if err != nil {
+		return nil, 0
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0
+	}
+	var tr httpd.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, 0
+	}
+	hists := map[string]*metrics.Histogram{}
+	found := 0
+	for _, rec := range tr.Traces {
+		if !tk.has(rec.TraceID) {
+			continue
+		}
+		found++
+		for _, sp := range rec.Spans {
+			h := hists[sp.Name]
+			if h == nil {
+				h = metrics.NewHistogram(metrics.DefLatencyBounds())
+				hists[sp.Name] = h
+			}
+			h.Observe(sp.DurationMS / 1e3)
+		}
+	}
+	if len(hists) == 0 {
+		return nil, found
+	}
+	out := make(map[string]phaseQuantiles, len(hists))
+	for name, h := range hists {
+		out[name] = phaseQuantiles{
+			Count: int(h.Count()),
+			P50ms: h.Quantile(0.50) * 1e3,
+			P95ms: h.Quantile(0.95) * 1e3,
+			P99ms: h.Quantile(0.99) * 1e3,
+		}
+	}
+	return out, found
 }
 
 // issue POSTs one query and reports whether it answered 200.
@@ -423,6 +559,9 @@ func (d *loadDriver) issue(ctx context.Context, q poolQuery) bool {
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := d.tracker.mark(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := d.client.Do(req)
 	if err != nil {
 		return false

@@ -39,7 +39,7 @@
 //	chordalctl -compile out.snap [-hypergraph] [file]
 //	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d] [-cache-shards n]
-//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
+//	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [-trace-sample p] [-slow-query-ms n] [-log-format json|text] [-cpuprofile f] [-memprofile f] [file]
 //	chordalctl -load self|url [-load-duration d] [-load-concurrency n] [-zipf-s s] [-seed n] [-trace f | -trace-record f] [-bench-out f -bench-tag t [-bench-merge f]] [-cache-shards n]
 //
 // -cpuprofile and -memprofile write pprof profiles of a serving run:
@@ -49,6 +49,17 @@
 // scratch, compiled views, cached answers — not transient garbage. Both
 // flags require -batch or -serve; profiling a bare describe or -compile
 // run would mostly measure file parsing.
+//
+// A -serve run traces every request end to end (W3C traceparent in,
+// ctx-propagated phase spans through limiter, decode, cache, planner,
+// solver and render). -trace-sample sets the head-sampling probability
+// (default 0); traces of errored requests and of queries slower than
+// -slow-query-ms (default 500, 0 disables) are always retained. Recent
+// retained traces are served on GET /v1/traces, and each slow query
+// additionally emits a structured forensic log line with its full phase
+// breakdown. Request and slow-query logs go to stderr as log/slog lines
+// in -log-format (text by default, json for machine ingestion), stamped
+// with the request's trace id.
 //
 // -cache-shards splits each scheme's answer cache into n independently
 // locked shards (rounded up to a power of two; default: GOMAXPROCS, at
@@ -127,6 +138,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
 	maxTerminals := 0
 	cacheShards := 0
+	traceSample, slowQueryMS := 0.0, int64(500)
+	logFormat := "text"
+	serveObsFlagSet := false // any -trace-sample/-slow-query-ms/-log-format seen
 	load := loadConfig{duration: 2 * time.Second, concurrency: 8, zipfS: 1.2, seed: 1}
 	loadFlagSet := false // any -load-*/-zipf-s/-seed/-trace*/-bench-* flag seen
 	var timeout time.Duration
@@ -184,6 +198,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 				return fmt.Errorf("-cache-shards: count must be >= 1 (rounded up to a power of two)")
 			}
 			cacheShards = n
+		case "-trace-sample", "--trace-sample":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-trace-sample needs a probability argument in [0,1]")
+			}
+			p, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return fmt.Errorf("-trace-sample: %v", err)
+			}
+			if p < 0 || p > 1 {
+				return fmt.Errorf("-trace-sample: probability must be in [0,1]")
+			}
+			traceSample, serveObsFlagSet = p, true
+		case "-slow-query-ms", "--slow-query-ms":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-slow-query-ms needs a millisecond argument (0 disables)")
+			}
+			n, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("-slow-query-ms: %v", err)
+			}
+			if n < 0 {
+				return fmt.Errorf("-slow-query-ms: must be >= 0 (0 disables)")
+			}
+			slowQueryMS, serveObsFlagSet = n, true
+		case "-log-format", "--log-format":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-log-format needs a format argument (json or text)")
+			}
+			if args[i] != "json" && args[i] != "text" {
+				return fmt.Errorf("-log-format: want json or text, got %q", args[i])
+			}
+			logFormat, serveObsFlagSet = args[i], true
 		case "-cpuprofile", "--cpuprofile":
 			i++
 			if i >= len(args) {
@@ -373,6 +422,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 	if serve == "" && maxInFlightSet {
 		return fmt.Errorf("-max-inflight only applies to -serve")
 	}
+	if serve == "" && serveObsFlagSet {
+		return fmt.Errorf("-trace-sample/-slow-query-ms/-log-format only apply to -serve")
+	}
 	if cacheShards > 0 && serve == "" && batch == "" && registry == "" && load.target == "" {
 		// Covers plain describe/-json and -compile alike: no Service (and
 		// so no answer cache) is ever built there, and a silently ignored
@@ -454,7 +506,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 			reg = core.NewRegistry()
 			reg.Set("default", b, schemeOpts...)
 		}
-		return runServe(ctx, serveConfig{addr: serve, maxInFlight: maxInFlight, schemeOpts: schemeOpts}, reg, stdout)
+		return runServe(ctx, serveConfig{
+			addr: serve, maxInFlight: maxInFlight, schemeOpts: schemeOpts,
+			traceSample: traceSample,
+			slowQuery:   time.Duration(slowQueryMS) * time.Millisecond,
+			logFormat:   logFormat,
+		}, reg, stdout, stderr)
 	}
 
 	if registry != "" {

@@ -4,14 +4,17 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpd"
+	"repro/internal/trace"
 )
 
 // serveConfig carries the -serve flags into runServe.
@@ -19,13 +22,32 @@ type serveConfig struct {
 	addr        string        // listen address, e.g. ":8080" or "127.0.0.1:0"
 	maxInFlight int           // concurrent-request bound (<=0: unlimited)
 	schemeOpts  []core.Option // budgets applied to PUT-uploaded schemes too
+
+	traceSample float64       // head-sampling probability for request traces
+	slowQuery   time.Duration // slow-query threshold (<=0: disabled)
+	logFormat   string        // "text" or "json" structured logs on stderr
+}
+
+// newServeLogger builds the server's structured logger on w in the
+// requested format. Both the per-request access log and the tracer's
+// slow-query log share it, so a slow query's forensic line and its
+// request line carry the same trace id in the same stream.
+func newServeLogger(w io.Writer, format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
 }
 
 // runServe exposes the registry over HTTP on cfg.addr until ctx is
 // canceled or SIGINT/SIGTERM arrives, then shuts down gracefully. The
 // bound address is announced on stdout (one line, machine-greppable) so
-// scripts can use ":0" and discover the port.
-func runServe(ctx context.Context, cfg serveConfig, reg *core.Registry, stdout io.Writer) error {
+// scripts can use ":0" and discover the port. Request and slow-query
+// logs go to stderr as structured slog lines; every request is traced
+// (head-sampled at cfg.traceSample, always retained on server error or
+// past the slow-query threshold) and recent traces are served on
+// GET /v1/traces.
+func runServe(ctx context.Context, cfg serveConfig, reg *core.Registry, stdout, stderr io.Writer) error {
 	if reg.Len() == 0 {
 		return fmt.Errorf("-serve: no schemes loaded")
 	}
@@ -33,8 +55,16 @@ func runServe(ctx context.Context, cfg serveConfig, reg *core.Registry, stdout i
 	if err != nil {
 		return err
 	}
+	logger := newServeLogger(stderr, cfg.logFormat)
+	tracer := trace.New(trace.Config{
+		SampleProb: cfg.traceSample,
+		SlowQuery:  cfg.slowQuery,
+		Logger:     logger,
+	})
 	h := httpd.New(reg, httpd.WithMaxInFlight(cfg.maxInFlight),
-		httpd.WithSchemeOptions(cfg.schemeOpts...))
+		httpd.WithSchemeOptions(cfg.schemeOpts...),
+		httpd.WithTracer(tracer),
+		httpd.WithAccessLog(logger))
 	fmt.Fprintf(stdout, "chordalctl: serving HTTP on %s (schemes: %s)\n",
 		l.Addr(), strings.Join(reg.Names(), " "))
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

@@ -41,6 +41,7 @@ var wantFindings = map[string]string{
 	"errwrap":     "cuts the wrap chain",
 	"ctxfirst":    "root context in library code",
 	"hotalloc":    "hot path",
+	"spanend":     "without ending span",
 }
 
 // TestStandaloneOverBadmod runs the standalone multichecker over the

@@ -1,0 +1,21 @@
+// Package spans seeds a spanend violation: a phase span started on the
+// request path is left open on the early-error return.
+package spans
+
+import (
+	"errors"
+
+	"badmod/trace"
+)
+
+var errFailed = errors.New("failed")
+
+// Handle starts a span but forgets to end it before the error return.
+func Handle(tr *trace.Trace, fail bool) error {
+	sp := tr.StartSpan("work")
+	if fail {
+		return errFailed // seeded: spanend (return without ending span)
+	}
+	sp.End()
+	return nil
+}

@@ -17,6 +17,7 @@ func Suite() []*Analyzer {
 		ErrWrap,
 		CtxFirst,
 		HotAlloc,
+		SpanEnd,
 	}
 }
 

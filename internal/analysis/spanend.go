@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the tracing-span lifecycle: a span handle obtained
+// from trace's StartSpan must be ended in the function that started it,
+// on every return path. An unended span stays open until the tracer
+// clamps it at request end, which silently misattributes its time to the
+// wrong phase in every retained trace and slow-query log line — a bug no
+// test catches because nothing crashes.
+//
+// The check is lexical, mirroring the span discipline of the hot paths:
+// a deferred End covers every exit; otherwise each return statement
+// after the StartSpan needs some End() call on that handle between the
+// start and the return. Root() handles are exempt — the root span is
+// closed by Tracer.Finish, never by the function observing it.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "flag trace spans that are started but not ended on every return path\n" +
+		"(End the span before each return, or defer its End)",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) (any, error) {
+	// The trace package itself is the one place allowed to manufacture
+	// and retire spans without the start/End pairing.
+	if pkgTail(pass.Pkg, "trace") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		funcScopes(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkSpanScope(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// checkSpanScope verifies one function body's span starts.
+func checkSpanScope(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: span acquisitions — `sp := tr.StartSpan("phase")`.
+	type spanStart struct {
+		obj      types.Object
+		pos      ast.Node
+		deferred bool // covered by a defer sp.End()
+		endPos   []ast.Node
+	}
+	var starts []*spanStart
+	byObj := make(map[types.Object]*spanStart)
+	walkScope(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) || !isSpanStartCall(info, rhs) {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				pass.Reportf(rhs.Pos(), "span started and discarded; it can never be ended")
+				continue
+			}
+			obj := objectOf(info, id)
+			if obj == nil || byObj[obj] != nil {
+				continue
+			}
+			s := &spanStart{obj: obj, pos: id}
+			starts = append(starts, s)
+			byObj[obj] = s
+		}
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	// Pass 2: End calls on the tracked handles, deferred or inline.
+	endedHere := func(n ast.Node, deferred bool) {
+		if obj := spanEndTarget(info, n); obj != nil {
+			if s := byObj[obj]; s != nil {
+				if deferred {
+					s.deferred = true
+				} else {
+					s.endPos = append(s.endPos, n)
+				}
+			}
+		}
+	}
+	walkScope(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			endedHere(n.Call, true)
+		case *ast.CallExpr:
+			endedHere(n, false)
+		}
+		return true
+	})
+
+	// Pass 3: coverage. A deferred End covers every exit; otherwise each
+	// return lexically after the start needs an End between them. (End is
+	// idempotent, so over-approximating with lexical order trades a
+	// little precision for zero false positives on the straight-line
+	// end-then-return shape the hot paths use.)
+	for _, s := range starts {
+		if s.deferred {
+			continue
+		}
+		if len(s.endPos) == 0 {
+			pass.Reportf(s.pos.Pos(), "span %s is never ended in this function; end it on every return path or defer its End", s.obj.Name())
+			continue
+		}
+		walkScope(body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() < s.pos.Pos() {
+				return true
+			}
+			covered := false
+			for _, e := range s.endPos {
+				if e.Pos() > s.pos.Pos() && e.Pos() < ret.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret.Pos(), "return without ending span %s; call its End before this return or defer it", s.obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isSpanStartCall reports whether e calls a StartSpan method returning a
+// trace SpanRef.
+func isSpanStartCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "StartSpan" {
+		return false
+	}
+	sig := fn.Signature()
+	return sig.Results().Len() == 1 && namedIn(sig.Results().At(0).Type(), "SpanRef", "trace")
+}
+
+// spanEndTarget returns the handle object of an `sp.End()` call, where
+// sp is a trace SpanRef, or nil for any other node.
+func spanEndTarget(info *types.Info, n ast.Node) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "End" {
+		return nil
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !namedIn(recv.Type(), "SpanRef", "trace") {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objectOf(info, id)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSpanEnd(t *testing.T) {
+	RunFixture(t, SpanEnd, "spanend/a")
+}

@@ -1,0 +1,89 @@
+// Package a exercises the spanend analyzer: spans must be ended on
+// every return path, by defer or by an End lexically between the start
+// and each return.
+package a
+
+import "spanend/trace"
+
+// okDeferred: a deferred End covers every exit.
+func okDeferred(tr *trace.Trace, fail bool) error {
+	sp := tr.StartSpan("phase")
+	defer sp.End()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// okInline: every return is preceded by an End on its path.
+func okInline(tr *trace.Trace, fail bool) error {
+	sp := tr.StartSpan("phase")
+	if fail {
+		sp.End()
+		return errFailed
+	}
+	sp.End()
+	return nil
+}
+
+// okEndBeforeBranch: the probe shape — End immediately after the guarded
+// call, lexically before the error return.
+func okEndBeforeBranch(tr *trace.Trace, fail bool) error {
+	sp := tr.StartSpan("probe")
+	sp.End()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// okLiteralScopes: the literal ends its own span; the outer return is a
+// different scope.
+func okLiteralScopes(tr *trace.Trace) func() {
+	return func() {
+		sp := tr.StartSpan("lit")
+		sp.Annotate("k", "v")
+		sp.End()
+	}
+}
+
+func neverEnded(tr *trace.Trace) {
+	sp := tr.StartSpan("phase") // want `span sp is never ended in this function`
+	sp.Annotate("k", "v")
+}
+
+func discarded(tr *trace.Trace) {
+	_ = tr.StartSpan("phase") // want `span started and discarded`
+}
+
+func earlyReturnLeaks(tr *trace.Trace, fail bool) error {
+	sp := tr.StartSpan("phase")
+	if fail {
+		return errFailed // want `return without ending span sp`
+	}
+	sp.End()
+	return nil
+}
+
+// twoSpans: the first span's End does not cover the second's paths.
+func twoSpans(tr *trace.Trace, fail bool) error {
+	a := tr.StartSpan("one")
+	a.End()
+	b := tr.StartSpan("two")
+	if fail {
+		return errFailed // want `return without ending span b`
+	}
+	b.End()
+	return nil
+}
+
+// literalLeaks: a span started inside a literal must end inside it.
+func literalLeaks(tr *trace.Trace) func() error {
+	return func() error {
+		sp := tr.StartSpan("lit") // want `span sp is never ended in this function`
+		_ = sp
+		return nil
+	}
+}
+
+var errFailed error

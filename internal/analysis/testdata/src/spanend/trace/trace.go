@@ -1,0 +1,43 @@
+// Package trace is a minimal stand-in for the real tracing package: just
+// enough surface (Trace, StartSpan, SpanRef.End/Annotate) for the
+// spanend fixtures to type-check.
+package trace
+
+// Trace is one request trace.
+type Trace struct {
+	spans []span
+}
+
+type span struct {
+	name  string
+	ended bool
+}
+
+// SpanRef is a handle onto one span of a Trace.
+type SpanRef struct {
+	t *Trace
+	i int32
+}
+
+// StartSpan opens a child span.
+func (t *Trace) StartSpan(name string) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	t.spans = append(t.spans, span{name: name})
+	return SpanRef{t: t, i: int32(len(t.spans) - 1)}
+}
+
+// End closes the span; idempotent.
+func (s SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.spans[s.i].ended = true
+}
+
+// Annotate attaches a key/value attribute.
+func (s SpanRef) Annotate(key, val string) {
+	_ = key
+	_ = val
+}

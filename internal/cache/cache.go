@@ -101,12 +101,19 @@ const (
 
 // shardFor hashes key (FNV-1a, 64-bit) and masks it onto a shard.
 func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[c.ShardIndex(key)]
+}
+
+// ShardIndex returns the index of the shard key hashes to, so callers
+// (trace span annotations, shard-level diagnostics) can attribute a key
+// to the same shard the cache itself uses. It never allocates.
+func (c *Cache[V]) ShardIndex(key string) int {
 	h := uint64(fnvOffset)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= fnvPrime
 	}
-	return &c.shards[h&c.mask]
+	return int(h & c.mask)
 }
 
 // GetOrAdd returns the value cached under key with hit=true, refreshing

@@ -15,8 +15,10 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/steiner"
+	"repro/internal/trace"
 )
 
 // batchGroup is one planner group: the distinct terminal ids of a set of
@@ -32,11 +34,20 @@ type batchGroup struct {
 
 // shared returns the group's Shared, building it on first call. A build
 // cut short by ctx leaves sh nil — the solvers then just compute locally
-// (and observe the same cancelled ctx themselves).
-func (g *batchGroup) shared(ctx context.Context, c *Connector) *steiner.Shared {
+// (and observe the same cancelled ctx themselves). The winning build is
+// traced as the "planner" phase and its wall time feeds the per-scheme
+// Shared-build histogram; cache-hit members never get here at all.
+func (g *batchGroup) shared(ctx context.Context, s *Service) *steiner.Shared {
 	g.once.Do(func() {
-		sh := steiner.NewShared(c.fb.G())
-		if err := sh.Precompute(ctx, g.terms, g.withRows); err != nil {
+		sp := trace.FromContext(ctx).StartSpan("planner")
+		sp.AnnotateInt("group_queries", int64(g.queries))
+		sp.AnnotateInt("group_terms", int64(len(g.terms)))
+		start := time.Now()
+		sh := steiner.NewShared(s.c.fb.G())
+		err := sh.Precompute(ctx, g.terms, g.withRows)
+		s.sharedBuildDur.ObserveDuration(time.Since(start))
+		sp.End()
+		if err != nil {
 			return
 		}
 		g.sh = sh

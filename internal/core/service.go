@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/intset"
+	"repro/internal/metrics"
 	"repro/internal/steiner"
+	"repro/internal/trace"
 )
 
 // Service serves minimal-connection queries over one compiled scheme to
@@ -58,6 +60,13 @@ type Service struct {
 	// every miss inserts one entry, and every entry leaves either by
 	// capacity eviction or by a removal.
 	removals atomic.Uint64
+
+	// Planner observability: the size of every non-singleton batch group
+	// and the wall time of every lazy Shared build. Owned here (one pair
+	// per scheme) and bridged onto /metrics per scheme via
+	// Registry.HistogramFunc — see PlannerStats.
+	plannerGroupSize *metrics.Histogram
+	sharedBuildDur   *metrics.Histogram
 }
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
@@ -96,7 +105,20 @@ func NewService(c *Connector, opts ...Option) *Service {
 		c:       c,
 		workers: cfg.workers,
 		cache:   cache.New[*cacheEntry](cfg.cacheSize, cfg.cacheShards),
+		// Group sizes are small integers: powers of two up to 256 resolve
+		// "pairs" from "whole-batch coalescence". Build durations use the
+		// standard latency layout.
+		plannerGroupSize: metrics.NewHistogram(metrics.ExponentialBounds(2, 2, 8)),
+		sharedBuildDur:   metrics.NewHistogram(metrics.DefLatencyBounds()),
 	}
+}
+
+// PlannerStats returns the batch-planner histograms: the distribution of
+// non-singleton group sizes (in queries) and of lazy Shared-build wall
+// times (in seconds). Both are live instruments — /metrics renders them
+// at scrape time.
+func (s *Service) PlannerStats() (groupSize, sharedBuild *metrics.Histogram) {
+	return s.plannerGroupSize, s.sharedBuildDur
 }
 
 // Connector returns the wrapped Connector.
@@ -122,12 +144,21 @@ func (s *Service) Connect(ctx context.Context, terminals []int, opts ...QueryOpt
 // actually computes (cache miss or bypass), so a warm batch never builds
 // its Shared at all.
 func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfig, shared func() *steiner.Shared) (Connection, error) {
+	tr := trace.FromContext(ctx)
 	compute := func(ctx context.Context) (Connection, error) {
+		// The planner's lazy Shared build traces itself (planner.go), so
+		// the solve span covers exactly the dispatch + solver run.
 		var sh *steiner.Shared
 		if shared != nil {
 			sh = shared()
 		}
-		return s.c.connectShared(ctx, terminals, q, sh)
+		sp := tr.StartSpan("solve")
+		conn, err := s.c.connectShared(ctx, terminals, q, sh)
+		if err == nil {
+			sp.Annotate("method", conn.Method.String())
+		}
+		sp.End()
+		return conn, err
 	}
 	// Validate before touching the cache: invalid queries are cheap to
 	// reject and must not occupy cache capacity.
@@ -142,17 +173,38 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 		return compute(ctx)
 	}
 	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
+	// The cache span covers lookup and in-flight waiting, never the
+	// compute itself (that is the solve span), so a trace's phases tile
+	// the request without double counting. A retry after observing a
+	// cancellation outcome stays inside the same span.
+	csp := tr.StartSpan("cache")
+	if tr != nil {
+		csp.AnnotateInt("shard", int64(s.cache.ShardIndex(key)))
+	}
 	for {
 		ent, hit := s.cache.GetOrAdd(key, func() *cacheEntry {
 			return &cacheEntry{done: make(chan struct{})}
 		})
 		if hit {
 			s.hits.Add(1)
+			outcome := "hit"
+			if tr != nil {
+				// Distinguish a settled hit from in-flight dedup without
+				// perturbing the traceless hot path: one extra
+				// non-blocking poll of done, only when tracing.
+				select {
+				case <-ent.done:
+				default:
+					outcome = "inflight"
+				}
+			}
 			select {
 			case <-ent.done:
 			case <-ctx.Done():
 				// The computing goroutine keeps going on its own context;
 				// this caller just stops waiting for it.
+				csp.Annotate("outcome", outcome)
+				csp.End()
 				return Connection{}, ctx.Err()
 			}
 			if isCtxErr(ent.err) && ctx.Err() == nil {
@@ -161,9 +213,13 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 				// closing done, so retry with this caller's own budget.
 				continue
 			}
+			csp.Annotate("outcome", outcome)
+			csp.End()
 			return ent.conn, ent.err
 		}
 		s.misses.Add(1)
+		csp.Annotate("outcome", "miss")
+		csp.End()
 
 		// Compute outside the shard lock; the Connector is
 		// concurrency-safe. Errors are cached too: for a frozen scheme
@@ -229,6 +285,15 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 	}
 	q := newQueryConfig(opts)
 	plan := planBatch(s.c, queries, q)
+	if plan != nil {
+		seen := make(map[*batchGroup]bool)
+		for _, g := range plan.groups {
+			if g != nil && !seen[g] {
+				seen[g] = true
+				s.plannerGroupSize.Observe(float64(g.queries))
+			}
+		}
+	}
 	workers := s.workers
 	if workers > len(queries) {
 		workers = len(queries)
@@ -242,7 +307,7 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 			for i := range next {
 				var shared func() *steiner.Shared
 				if g := plan.group(i); g != nil {
-					shared = func() *steiner.Shared { return g.shared(ctx, s.c) }
+					shared = func() *steiner.Shared { return g.shared(ctx, s) }
 				}
 				conn, err := s.connectWith(ctx, queries[i], q, shared)
 				out[i] = BatchResult{Terminals: queries[i], Conn: conn, Err: err}

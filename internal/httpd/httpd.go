@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/metrics"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // Defaults for the handler knobs; override with the With… options.
@@ -47,6 +49,11 @@ type Handler struct {
 	solveDur *metrics.Histogram // query-endpoint latency; drives Retry-After
 	sheds    *metrics.Counter
 	swaps    *metrics.Counter
+
+	// Tracing (trace.go). Both nil by default: an untraced, unlogged
+	// handler does no per-request tracing work whatsoever.
+	tracer    *trace.Tracer
+	accessLog *slog.Logger
 }
 
 // HandlerOption configures New.
@@ -113,6 +120,7 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 	mux.HandleFunc("GET /v1/schemes", h.handleSchemes)
 	mux.HandleFunc("GET /v1/stats", h.handleStats)
 	mux.HandleFunc("GET /metrics", h.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", h.handleTraces)
 	mux.HandleFunc("GET /v1/schemes/{name}/snapshot", h.handleSnapshotDownload)
 	mux.HandleFunc("PUT /v1/schemes/{name}", h.handleSchemeUpload)
 	mux.HandleFunc("DELETE /v1/schemes/{name}", h.handleSchemeDelete)
@@ -129,14 +137,20 @@ func New(reg *core.Registry, opts ...HandlerOption) *Handler {
 // take a limiter slot like any other expensive request.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	endpoint := endpointLabel(r)
+	start := time.Now()
+	tr, r := h.startTrace(r, endpoint)
 	if h.sem != nil && (r.Method != http.MethodGet || strings.HasSuffix(r.URL.Path, "/snapshot")) {
+		lsp := tr.StartSpan("limiter")
 		select {
 		case h.sem <- struct{}{}:
+			lsp.End()
 			defer func() { <-h.sem }()
 		default:
 			// Sheds count on requests_total (code 429) but not the duration
 			// histogram: no routed work happened, and a flood of free
 			// rejections would drag the latency distribution toward zero.
+			lsp.Annotate("outcome", "shed")
+			lsp.End()
 			h.sheds.Inc()
 			h.met.Counter(MetricRequestsTotal,
 				"HTTP requests by endpoint, method and status code.",
@@ -145,17 +159,19 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", h.retryAfterSeconds())
 			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 				"server is at its in-flight request limit")
+			h.finishRequest(tr, r, endpoint, http.StatusTooManyRequests, time.Since(start))
 			return
 		}
 	}
 	sw := &statusWriter{ResponseWriter: w}
-	start := time.Now()
 	h.mux.ServeHTTP(sw, r)
 	status := sw.status
 	if status == 0 { // handler never wrote; net/http implies 200
 		status = http.StatusOK
 	}
-	h.observeRequest(endpoint, r.Method, status, time.Since(start))
+	d := time.Since(start)
+	traceID := h.finishRequest(tr, r, endpoint, status, d)
+	h.observeRequest(endpoint, r.Method, status, d, traceID)
 }
 
 // resolveScheme looks the scheme up, defaulting to the sole registered
@@ -300,6 +316,7 @@ func (h *Handler) handleConnect(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	annotateScheme(r, name, epoch)
 	terms, eb := resolveTerminals(svc, req.Terminals, req.Labels)
 	if eb != nil {
 		writeErrorBody(w, eb)
@@ -321,11 +338,14 @@ func (h *Handler) handleConnect(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ConnectResponse{
+	rsp := trace.FromContext(r.Context()).StartSpan("render")
+	resp := ConnectResponse{
 		Scheme: name,
 		Epoch:  epoch,
 		Answer: answerOf(svc, conn),
-	})
+	}
+	rsp.End()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +358,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	annotateScheme(r, name, epoch)
 	opts, eb := queryOptions(req.Method, req.ExactLimit, nil, req.CacheBypass)
 	if eb != nil {
 		writeErrorBody(w, eb)
@@ -350,6 +371,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	results := svc.ConnectBatch(ctx, req.Queries, opts...)
+	rsp := trace.FromContext(r.Context()).StartSpan("render")
 	resp := BatchResponse{
 		Scheme:  name,
 		Epoch:   epoch,
@@ -367,6 +389,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = item
 	}
+	rsp.End()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -380,6 +403,7 @@ func (h *Handler) handleInterpretations(w http.ResponseWriter, r *http.Request) 
 		writeQueryError(w, err)
 		return
 	}
+	annotateScheme(r, name, epoch)
 	terms, eb := resolveTerminals(svc, req.Terminals, req.Labels)
 	if eb != nil {
 		writeErrorBody(w, eb)
@@ -626,10 +650,12 @@ func nonNilInts(s []int) []int {
 // rejected and the configured size cap applied; on failure it writes the
 // error response and returns false.
 func (h *Handler) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dsp := trace.FromContext(r.Context()).StartSpan("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		dsp.End()
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
@@ -640,9 +666,11 @@ func (h *Handler) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 		return false
 	}
 	if dec.More() {
+		dsp.End()
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after JSON body")
 		return false
 	}
+	dsp.End()
 	return true
 }
 

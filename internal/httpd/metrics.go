@@ -122,6 +122,10 @@ func (h *Handler) initMetrics() {
 		func(ss cache.ShardStat) float64 { return float64(ss.Evictions) })
 	shardStat(MetricShardEntries, "Answer-cache resident entries per scheme and lock shard.", true,
 		func(ss cache.ShardStat) float64 { return float64(ss.Entries) })
+
+	// Per-scheme batch-planner histograms (trace.go) ride the same
+	// scrape-time bridge pattern.
+	h.initPlannerMetrics(m)
 }
 
 // cacheSamples adapts a CacheStats projection into a scrape-time sampler
@@ -190,7 +194,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func endpointLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/v1/connect", "/v1/batch", "/v1/interpretations", "/v1/schemes", "/v1/stats", "/metrics":
+	case "/v1/connect", "/v1/batch", "/v1/interpretations", "/v1/schemes", "/v1/stats", "/metrics", "/v1/traces":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/schemes/") {
@@ -214,8 +218,10 @@ func queryEndpoint(endpoint string) bool {
 }
 
 // observeRequest records one routed request on the per-endpoint metric
-// families.
-func (h *Handler) observeRequest(endpoint, method string, status int, d time.Duration) {
+// families. traceID, when non-empty, is the id of the request's retained
+// trace and is offered to the solve histogram as its exemplar, linking
+// the latency tail back to a trace /v1/traces can actually resolve.
+func (h *Handler) observeRequest(endpoint, method string, status int, d time.Duration, traceID string) {
 	h.met.Histogram(MetricRequestDuration,
 		"HTTP request latency by endpoint and method.",
 		metrics.DefLatencyBounds(),
@@ -225,7 +231,7 @@ func (h *Handler) observeRequest(endpoint, method string, status int, d time.Dur
 		metrics.L("endpoint", endpoint), metrics.L("method", method),
 		metrics.L("code", strconv.Itoa(status))).Inc()
 	if queryEndpoint(endpoint) {
-		h.solveDur.ObserveDuration(d)
+		h.solveDur.ObserveWithExemplar(d.Seconds(), traceID)
 	}
 }
 

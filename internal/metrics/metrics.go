@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -53,6 +54,15 @@ type Histogram struct {
 	// beyond histogram range would need ~292 years of observed time to
 	// overflow int64 nanoseconds.
 	sumNanos atomic.Int64
+
+	// Exemplar state: the slowest observation seen so far and the trace
+	// that produced it, linking the histogram's tail back to /v1/traces.
+	// Kept off the plain Observe path — only ObserveWithExemplar takes
+	// the mutex, and only for observations that carry a trace id.
+	exMu  sync.Mutex
+	exID  string
+	exVal float64
+	exSet bool
 }
 
 // NewHistogram returns a Histogram over the given finite upper bounds
@@ -112,6 +122,32 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records one observed duration.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveWithExemplar records one observation and, when traceID is
+// non-empty, offers it as the histogram's exemplar. The slowest
+// observation wins: the exemplar always points at the trace of the worst
+// latency the histogram has absorbed, which is the one worth reading.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if !h.exSet || v >= h.exVal {
+		h.exSet = true
+		h.exVal = v
+		h.exID = traceID
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the trace id and value of the slowest exemplar-carrying
+// observation, with ok=false when none has been offered yet.
+func (h *Histogram) Exemplar() (traceID string, v float64, ok bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exID, h.exVal, h.exSet
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }

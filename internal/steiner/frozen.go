@@ -45,6 +45,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/graph"
 	"repro/internal/intset"
+	"repro/internal/trace"
 )
 
 // cancelStride is how many hot-loop iterations run between context checks
@@ -215,18 +216,25 @@ func terminalsConnectedBits(fg *graph.Frozen, alive, term graph.Bits, terminals 
 // fast path: the pass iterates 0..n-1 directly and never materializes a
 // per-query order slice.
 func eliminateFrozen(ctx context.Context, fg *graph.Frozen, terminals, order []int, identity bool, sh *Shared, t *Tree) error {
+	// Phase spans no-op on a traceless ctx (nil *Trace, zero SpanRef), so
+	// the zero-alloc pin and the hot benchmarks are untouched.
+	tr := trace.FromContext(ctx)
 	n := fg.N()
 	sc := getScratch(n)
 	defer sc.release()
+	psp := tr.StartSpan("solve.probe")
 	alive, err := componentAliveBits(fg, terminals, sh, sc, sc.alive)
+	psp.End()
 	if err != nil {
 		return err
 	}
 	term := termMask(sc, terminals)
+	esp := tr.StartSpan("solve.eliminate")
 	if identity {
 		for v := 0; v < n; v++ {
 			if v&(cancelStride-1) == 0 {
 				if err := ctx.Err(); err != nil {
+					esp.End()
 					return err
 				}
 			}
@@ -242,6 +250,7 @@ func eliminateFrozen(ctx context.Context, fg *graph.Frozen, terminals, order []i
 		for i, v := range order {
 			if i&(cancelStride-1) == 0 {
 				if err := ctx.Err(); err != nil {
+					esp.End()
 					return err
 				}
 			}
@@ -254,10 +263,14 @@ func eliminateFrozen(ctx context.Context, fg *graph.Frozen, terminals, order []i
 			}
 		}
 	}
+	esp.End()
 	// Nodes outside `order` (or stranded after their turn) may survive
 	// outside the terminals' component; restrict to it.
+	rsp := tr.StartSpan("solve.render")
 	restrictToTerminalComponentBits(fg, alive, terminals, sc)
-	return spanningTreeBits(fg, alive, sc, t)
+	err = spanningTreeBits(fg, alive, sc, t)
+	rsp.End()
+	return err
 }
 
 // EliminateOrderedFrozen is EliminateOrdered on a frozen graph: the
@@ -318,22 +331,29 @@ func Algorithm1Frozen(ctx context.Context, fb *bipartite.Frozen, terminals []int
 // Algorithm1FrozenShared is Algorithm1Frozen drawing component masks from a
 // batch-planner Shared (nil behaves like Algorithm1Frozen).
 func Algorithm1FrozenShared(ctx context.Context, fb *bipartite.Frozen, terminals []int, sh *Shared) (Tree, error) {
+	tr := trace.FromContext(ctx)
 	fg := fb.G()
 	sc := getScratch(fg.N())
 	defer sc.release()
+	psp := tr.StartSpan("solve.probe")
 	alive, err := componentAliveBits(fg, terminals, sh, sc, sc.alive)
+	psp.End()
 	if err != nil {
 		return Tree{}, err
 	}
+	osp := tr.StartSpan("solve.order")
 	w, err := lemma1OrderingAlive(fb, alive)
+	osp.End()
 	if err != nil {
 		return Tree{}, err
 	}
 	term := termMask(sc, terminals)
 	removed := sc.ints[:0]
+	esp := tr.StartSpan("solve.eliminate")
 	for i, v2 := range w {
 		if i&(cancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
+				esp.End()
 				return Tree{}, err
 			}
 		}
@@ -378,10 +398,14 @@ func Algorithm1FrozenShared(ctx context.Context, fb *bipartite.Frozen, terminals
 			}
 		}
 	}
+	esp.End()
 	sc.ints = removed[:0]
+	rsp := tr.StartSpan("solve.render")
 	restrictToTerminalComponentBits(fg, alive, terminals, sc)
 	var t Tree
-	if err := spanningTreeBits(fg, alive, sc, &t); err != nil {
+	err = spanningTreeBits(fg, alive, sc, &t)
+	rsp.End()
+	if err != nil {
 		return Tree{}, err
 	}
 	return t, nil
@@ -456,19 +480,24 @@ func exactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Sha
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := trace.FromContext(ctx)
 	n := fg.N()
 	sc := getScratch(n)
 	defer sc.release()
+	psp := tr.StartSpan("solve.probe")
 	comp, err := componentAliveBits(fg, terminals, sh, sc, sc.comp)
+	psp.End()
 	if err != nil {
 		return err
 	}
 	// Distance rows, one per component member, restricted to the component:
 	// distances between members are unaffected (shortest paths cannot leave
 	// a component) and everything else is -1 on both paths.
+	rowsp := tr.StartSpan("solve.rows")
 	members := comp.AppendOnes(sc.ints[:0])
 	sc.ints = members
 	c := len(members)
+	rowsp.AnnotateInt("rows", int64(c))
 	rowOf := grow32(sc.rowOf, n)
 	sc.rowOf = rowOf
 	for i, u := range members {
@@ -479,16 +508,20 @@ func exactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Sha
 	for i, u := range members {
 		if i&(cancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
+				rowsp.End()
 				return err
 			}
 		}
 		fg.BFSDistancesBits(u, comp, dist[i*n:(i+1)*n], sc.bit)
 	}
+	rowsp.End()
 
 	k := ts.Len() - 1 // subsets range over ts[0..k-1]; ts[k] is the root
 	root := ts[k]
 	const inf = math.MaxInt32
 	size := 1 << uint(k)
+	dsp := tr.StartSpan("solve.dp")
+	dsp.AnnotateInt("subsets", int64(size))
 	// dp and choice are flat blocks, entry (s, v) at s*n+v. Only member
 	// columns are ever read or written (a state is finite only for nodes of
 	// the terminals' component), so only those are initialized; choice needs
@@ -518,6 +551,7 @@ func exactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Sha
 			continue // singleton: base case done
 		}
 		if err := ctx.Err(); err != nil {
+			dsp.End()
 			return err
 		}
 		b := s * n
@@ -556,10 +590,13 @@ func exactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Sha
 	}
 	full := size - 1
 	if dp[full*n+root] >= inf {
+		dsp.End()
 		return ErrDisconnectedTerminals
 	}
+	dsp.End()
 
 	// Reconstruct the node set into the alive mask.
+	rsp := tr.StartSpan("solve.render")
 	nodes := sc.alive
 	nodes.Reset()
 	var rec func(s int, v int)
@@ -591,7 +628,9 @@ func exactFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Sha
 	}
 	rec(full, root)
 
-	if err := spanningTreeBits(fg, nodes, sc, t); err != nil {
+	err = spanningTreeBits(fg, nodes, sc, t)
+	rsp.End()
+	if err != nil {
 		return err
 	}
 	if got, want := t.Nodes.Len(), int(dp[full*n+root])+1; got > want {
@@ -620,11 +659,15 @@ func ApproximateFrozenShared(ctx context.Context, fg *graph.Frozen, terminals []
 }
 
 func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, sh *Shared, t *Tree) error {
+	tr := trace.FromContext(ctx)
 	ts := intset.FromSlice(terminals)
 	n := fg.N()
 	sc := getScratch(n)
 	defer sc.release()
-	if _, err := componentAliveBits(fg, terminals, sh, sc, sc.comp); err != nil {
+	psp := tr.StartSpan("solve.probe")
+	_, err := componentAliveBits(fg, terminals, sh, sc, sc.comp)
+	psp.End()
+	if err != nil {
 		return err
 	}
 	if ts.Len() == 1 {
@@ -633,10 +676,13 @@ func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, s
 		return nil
 	}
 	k := ts.Len()
+	rowsp := tr.StartSpan("solve.rows")
+	rowsp.AnnotateInt("rows", int64(k))
 	dist := grow32(sc.dist, k*n)
 	sc.dist = dist
 	for i, p := range ts {
 		if err := ctx.Err(); err != nil {
+			rowsp.End()
 			return err
 		}
 		if row := sh.row(p); row != nil {
@@ -645,8 +691,10 @@ func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, s
 			fg.BFSDistancesBits(p, nil, dist[i*n:(i+1)*n], sc.bit)
 		}
 	}
+	rowsp.End()
 	// Prim MST over the terminal metric closure; the in-tree set is a bit
 	// mask over terminal indices, best/bestTo pooled flat arrays.
+	msp := tr.StartSpan("solve.mst")
 	inTree := sc.term
 	inTree.Reset()
 	best := grow32(sc.rowOf, k)
@@ -684,9 +732,11 @@ func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, s
 			}
 		}
 	}
+	msp.End()
 	// Prune: drop nodes whose removal keeps a cover (single pass, largest
 	// ids first for determinism). AppendOnes yields ascending ids — the
 	// same order the mutable path gets from its sorted node set.
+	rsp := tr.StartSpan("solve.render")
 	alive := nodes
 	order := alive.AppendOnes(sc.ints[:0])
 	sc.ints = order
@@ -694,6 +744,7 @@ func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, s
 	for i := len(order) - 1; i >= 0; i-- {
 		if i&(cancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
+				rsp.End()
 				return err
 			}
 		}
@@ -706,5 +757,7 @@ func approximateFrozen(ctx context.Context, fg *graph.Frozen, terminals []int, s
 			alive.Set(v)
 		}
 	}
-	return spanningTreeBits(fg, alive, sc, t)
+	err = spanningTreeBits(fg, alive, sc, t)
+	rsp.End()
+	return err
 }

@@ -1,0 +1,215 @@
+// Package trace is the dependency-free request-tracing subsystem of the
+// serving tier. It provides W3C-compatible trace/span identifiers,
+// `traceparent` parsing and formatting for the HTTP boundary, per-span
+// phase timings threaded through context.Context, head sampling
+// (probabilistic, plus always-record on error and on slow queries), a
+// bounded ring of recent traces for GET /v1/traces, and a structured
+// slow-query log on log/slog.
+//
+// The design is built around two constraints inherited from the PR 6
+// zero-alloc work:
+//
+//   - Absent tracer: code paths that never see a tracer (direct solver
+//     calls, benchmarks, batch workers under test) observe a nil *Trace
+//     from FromContext, and every method on a nil Trace or zero SpanRef
+//     is a no-op. The frozen-solver AllocsPerRun==0 pin holds with
+//     tracing compiled in.
+//   - Present tracer, trace not kept: the Trace and its span storage
+//     come from a sync.Pool and are recycled on Finish; the
+//     record-then-drop path allocates nothing per span. Only traces that
+//     are actually kept (sampled, forced, error, slow) pay for the
+//     immutable Recorded copy.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceID is a W3C trace-id: 16 bytes, all-zero means absent.
+type TraceID [16]byte
+
+// SpanID is a W3C parent-id/span-id: 8 bytes, all-zero means absent.
+type SpanID [8]byte
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is all zeroes (invalid on the wire).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is all zeroes (invalid on the wire).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+const (
+	// maxSpans bounds the span storage of one pooled Trace. Spans started
+	// past the cap are silently dropped (StartSpan returns a no-op
+	// SpanRef); a large ConnectBatch fanning hundreds of per-query cache
+	// spans into one request trace stays bounded.
+	maxSpans = 64
+
+	// maxSpanAttrs bounds per-span annotations; later annotations on a
+	// full span are dropped.
+	maxSpanAttrs = 6
+)
+
+// attr is one span annotation. The two-field value shape (string or
+// int64, selected by isNum) avoids boxing values into `any` while the
+// span is in flight; Recorded traces convert to map[string]any.
+type attr struct {
+	key   string
+	str   string
+	num   int64
+	isNum bool
+}
+
+// span is the in-flight representation of one phase: offsets from the
+// trace start and annotations in fixed storage, recycled with the Trace.
+type span struct {
+	name   string
+	start  time.Duration
+	end    time.Duration
+	ended  bool
+	nattrs int8
+	attrs  [maxSpanAttrs]attr
+}
+
+// A Trace is the pooled, in-flight record of one request. spans[0] is
+// the root span covering the whole request; phase spans are flat
+// children of the root. A Trace is obtained from Tracer.StartRequest,
+// travels in a context.Context via NewContext, and must be returned via
+// Tracer.Finish exactly once. All methods are safe on a nil receiver
+// (no-ops), so call sites never branch on whether tracing is enabled.
+//
+// The mutex serializes span operations: ConnectBatch fans one request
+// out to several workers that annotate the same trace concurrently.
+type Trace struct {
+	tracer *Tracer
+	id     TraceID
+	root   SpanID // root span id (random)
+	parent SpanID // remote parent span id from traceparent, if any
+	forced bool   // incoming traceparent carried the sampled flag
+	head   bool   // head-sampling decision (includes forced)
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []span
+}
+
+// ID returns the trace id; zero for a nil trace.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Sampled reports whether the head-sampling decision (probabilistic or
+// forced by the caller's traceparent) already guarantees the trace will
+// be kept; error and slow-query retention are decided later, at Finish.
+func (t *Trace) Sampled() bool { return t != nil && t.head }
+
+// Root returns a handle on the root span, for request-level annotations
+// (scheme, epoch, status). Safe on a nil trace.
+func (t *Trace) Root() SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	return SpanRef{t: t, i: 0}
+}
+
+// StartSpan opens a phase span at the current time. The returned handle
+// stays valid as span storage grows. On a nil trace, or once the span
+// cap is reached, it returns the zero SpanRef, whose methods no-op.
+func (t *Trace) StartSpan(name string) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	d := time.Since(t.start)
+	t.mu.Lock()
+	i := len(t.spans)
+	if i >= maxSpans {
+		t.mu.Unlock()
+		return SpanRef{}
+	}
+	t.spans = append(t.spans, span{name: name, start: d})
+	t.mu.Unlock()
+	return SpanRef{t: t, i: int32(i)}
+}
+
+// A SpanRef is a cheap index-based handle on one span of a Trace. The
+// zero value is a valid no-op handle: End and the annotation methods
+// return immediately. Handles index into the trace rather than pointing
+// at span storage, so they survive the spans slice reallocating.
+type SpanRef struct {
+	t *Trace
+	i int32
+}
+
+// End closes the span. It is idempotent and safe on the zero SpanRef.
+func (s SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.t.start)
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.i]
+	if !sp.ended {
+		sp.ended = true
+		sp.end = d
+	}
+	s.t.mu.Unlock()
+}
+
+// Annotate attaches a string attribute to the span. Attributes past the
+// per-span cap are dropped.
+func (s SpanRef) Annotate(key, val string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.i]
+	if int(sp.nattrs) < maxSpanAttrs {
+		sp.attrs[sp.nattrs] = attr{key: key, str: val}
+		sp.nattrs++
+	}
+	s.t.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer attribute to the span. Attributes past
+// the per-span cap are dropped.
+func (s SpanRef) AnnotateInt(key string, val int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.i]
+	if int(sp.nattrs) < maxSpanAttrs {
+		sp.attrs[sp.nattrs] = attr{key: key, num: val, isNum: true}
+		sp.nattrs++
+	}
+	s.t.mu.Unlock()
+}
+
+// ctxKey is the private context key carrying the *Trace.
+type ctxKey struct{}
+
+// NewContext returns a context carrying tr. Passing a nil trace is
+// allowed and behaves as if no trace were attached.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil. On contexts
+// without a trace (context.Background in benchmarks, solver tests) this
+// is a constant-time miss, and the nil result makes every downstream
+// span operation a no-op.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp := ParseTraceparent(h)
+	if !tp.Valid {
+		t.Fatalf("ParseTraceparent(%q) invalid", h)
+	}
+	if got := tp.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := tp.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", got)
+	}
+	if tp.Flags&FlagSampled == 0 {
+		t.Error("sampled flag lost")
+	}
+	if got := FormatTraceparent(tp.TraceID, tp.SpanID, tp.Flags); got != h {
+		t.Errorf("FormatTraceparent = %q, want %q", got, h)
+	}
+}
+
+func TestTraceparentInvalid(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // truncated
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // unknown version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",   // bad flags
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // trailing
+	} {
+		if ParseTraceparent(h).Valid {
+			t.Errorf("ParseTraceparent(%q) unexpectedly valid", h)
+		}
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	always := New(Config{SampleProb: 1, Seed: 7})
+	if rec := always.Finish(always.StartRequest("req", Traceparent{}), false); rec == nil {
+		t.Error("SampleProb=1: trace dropped")
+	} else if rec.Reason != "sampled" {
+		t.Errorf("reason = %q, want sampled", rec.Reason)
+	}
+
+	never := New(Config{SampleProb: 0, Seed: 7})
+	if rec := never.Finish(never.StartRequest("req", Traceparent{}), false); rec != nil {
+		t.Error("SampleProb=0: trace kept")
+	}
+
+	// The incoming sampled flag forces retention even at probability 0.
+	parent := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rec := never.Finish(never.StartRequest("req", parent), false)
+	if rec == nil {
+		t.Fatal("forced trace dropped")
+	}
+	if rec.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("forced trace id = %s, want the caller's", rec.TraceID)
+	}
+	if rec.ParentSpan != "00f067aa0ba902b7" {
+		t.Errorf("parent span = %s", rec.ParentSpan)
+	}
+
+	// Errors are always kept.
+	if rec := never.Finish(never.StartRequest("req", Traceparent{}), true); rec == nil {
+		t.Error("error trace dropped")
+	} else if rec.Reason != "error" || !rec.Error {
+		t.Errorf("error trace reason = %q, Error = %v", rec.Reason, rec.Error)
+	}
+}
+
+func TestSpansAndPhases(t *testing.T) {
+	tr := New(Config{SampleProb: 1, Seed: 3}).StartRequest("POST /v1/connect", Traceparent{})
+	tr.Root().Annotate("scheme", "library")
+	tr.Root().AnnotateInt("epoch", 4)
+	sp := tr.StartSpan("cache")
+	sp.Annotate("outcome", "miss")
+	sp.AnnotateInt("shard", 2)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+	open := tr.StartSpan("solve") // never ended: closed at the root's end
+	_ = open
+
+	rec := tr.tracer.Finish(tr, false)
+	if rec == nil {
+		t.Fatal("trace dropped")
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	root := rec.Spans[0]
+	if root.Name != "POST /v1/connect" || root.Attrs["scheme"] != "library" || root.Attrs["epoch"] != int64(4) {
+		t.Errorf("root span = %+v", root)
+	}
+	cacheSpan := rec.Spans[1]
+	if cacheSpan.Name != "cache" || cacheSpan.Attrs["outcome"] != "miss" || cacheSpan.Attrs["shard"] != int64(2) {
+		t.Errorf("cache span = %+v", cacheSpan)
+	}
+	if cacheSpan.DurationMS < 2 {
+		t.Errorf("cache span duration %.3fms, want >= 2ms", cacheSpan.DurationMS)
+	}
+	if cacheSpan.DurationMS > rec.DurationMS {
+		t.Errorf("span (%.3fms) outlives trace (%.3fms)", cacheSpan.DurationMS, rec.DurationMS)
+	}
+	if solveSpan := rec.Spans[2]; solveSpan.StartMS+solveSpan.DurationMS > rec.DurationMS+0.001 {
+		t.Errorf("unended span not clamped to root end: %+v vs %.3f", solveSpan, rec.DurationMS)
+	}
+}
+
+func TestSlowQueryLogAndRetention(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tc := New(Config{SampleProb: 0, SlowQuery: time.Millisecond, Logger: logger, Seed: 9})
+
+	tr := tc.StartRequest("POST /v1/connect", Traceparent{})
+	tr.Root().Annotate("scheme", "library")
+	sp := tr.StartSpan("solve")
+	time.Sleep(3 * time.Millisecond)
+	sp.End()
+	rec := tc.Finish(tr, false)
+	if rec == nil {
+		t.Fatal("slow trace dropped despite SampleProb=0")
+	}
+	if rec.Reason != "slow" {
+		t.Errorf("reason = %q, want slow", rec.Reason)
+	}
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("slow-query log is not JSON: %v\n%s", err, buf.String())
+	}
+	if entry["trace_id"] != rec.TraceID {
+		t.Errorf("log trace_id = %v, want %s", entry["trace_id"], rec.TraceID)
+	}
+	if entry["scheme"] != "library" {
+		t.Errorf("log missing root attrs: %v", entry)
+	}
+	if _, ok := entry["phase_solve_ms"]; !ok {
+		t.Errorf("log missing phase breakdown: %v", entry)
+	}
+
+	// A fast request under the same config is dropped and unlogged.
+	buf.Reset()
+	if rec := tc.Finish(tc.StartRequest("req", Traceparent{}), false); rec != nil {
+		t.Error("fast trace kept")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("fast trace logged: %s", buf.String())
+	}
+}
+
+func TestRingBoundedNewestFirst(t *testing.T) {
+	tc := New(Config{SampleProb: 1, RingSize: 4, Seed: 1})
+	var last string
+	for range 10 {
+		rec := tc.Finish(tc.StartRequest("req", Traceparent{}), false)
+		last = rec.TraceID
+	}
+	recent := tc.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if recent[0].TraceID != last {
+		t.Errorf("ring not newest-first: got %s, want %s", recent[0].TraceID, last)
+	}
+	started, recorded := tc.Stats()
+	if started != 10 || recorded != 10 {
+		t.Errorf("stats = %d/%d, want 10/10", started, recorded)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != (TraceID{}) || tr.Sampled() {
+		t.Error("nil trace has identity")
+	}
+	sp := tr.StartSpan("x")
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("k", 1)
+	sp.End()
+	tr.Root().End()
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext(Background) = %v", got)
+	}
+	ctx := NewContext(context.Background(), nil)
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("FromContext(nil-trace ctx) = %v", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tc := New(Config{SampleProb: 1, Seed: 2})
+	tr := tc.StartRequest("req", Traceparent{})
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	tc.Finish(tr, false)
+}
+
+// TestDroppedPathZeroAlloc pins the sampled-out request cost: once the
+// pool is warm, start → span → finish of an unkept trace allocates
+// nothing.
+func TestDroppedPathZeroAlloc(t *testing.T) {
+	tc := New(Config{SampleProb: 0, Seed: 5})
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	work := func() {
+		tr := tc.StartRequest("req", ParseTraceparent(hdr))
+		sp := tr.StartSpan("cache")
+		sp.Annotate("outcome", "hit")
+		sp.AnnotateInt("shard", 3)
+		sp.End()
+		tc.Finish(tr, false)
+	}
+	for range 10 {
+		work() // warm the pool
+	}
+	if allocs := testing.AllocsPerRun(100, work); allocs != 0 {
+		t.Errorf("dropped-trace path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMaxSpansBounded(t *testing.T) {
+	tc := New(Config{SampleProb: 1, Seed: 8})
+	tr := tc.StartRequest("req", Traceparent{})
+	for i := 0; i < 3*maxSpans; i++ {
+		tr.StartSpan("s").End()
+	}
+	rec := tc.Finish(tr, false)
+	if len(rec.Spans) != maxSpans {
+		t.Errorf("recorded %d spans, want cap %d", len(rec.Spans), maxSpans)
+	}
+}
+
+func TestRecordedJSONShape(t *testing.T) {
+	tc := New(Config{SampleProb: 1, Seed: 6})
+	tr := tc.StartRequest("GET /v1/stats", Traceparent{})
+	tr.StartSpan("decode").End()
+	rec := tc.Finish(tr, false)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"trace_id"`, `"duration_ms"`, `"reason"`, `"spans"`, `"span_id"`, `"start_ms"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("marshalled trace missing %s: %s", key, b)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+// FlagSampled is the W3C trace-flags sampled bit: a caller that sets it
+// on its traceparent forces the trace to be kept.
+const FlagSampled byte = 0x01
+
+// Traceparent is a parsed W3C traceparent header (version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^ trace-id ^^^^^^^^^^^ ^^ parent-id ^^^ ^^ flags
+//
+// Valid is false for malformed headers, unknown versions, and the
+// all-zero ids the spec declares invalid.
+type Traceparent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+	Valid   bool
+}
+
+// ParseTraceparent parses a version-00 traceparent header. It never
+// allocates; invalid input yields the zero Traceparent.
+func ParseTraceparent(h string) Traceparent {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Traceparent{}
+	}
+	var tp Traceparent
+	if !hexDecode(tp.TraceID[:], h[3:35]) || !hexDecode(tp.SpanID[:], h[36:52]) {
+		return Traceparent{}
+	}
+	hi, ok1 := hexVal(h[53])
+	lo, ok2 := hexVal(h[54])
+	if !ok1 || !ok2 || tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return Traceparent{}
+	}
+	tp.Flags = hi<<4 | lo
+	tp.Valid = true
+	return tp
+}
+
+// FormatTraceparent renders a version-00 traceparent header for
+// outbound propagation.
+func FormatTraceparent(id TraceID, sp SpanID, flags byte) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	for _, c := range id {
+		b = append(b, digits[c>>4], digits[c&0xf])
+	}
+	b = append(b, '-')
+	for _, c := range sp {
+		b = append(b, digits[c>>4], digits[c&0xf])
+	}
+	b = append(b, '-', digits[flags>>4], digits[flags&0xf])
+	return string(b)
+}
+
+// hexDecode fills dst from the lowercase hex string s (len(s) must be
+// 2*len(dst)); it reports whether every digit was valid.
+func hexDecode(dst []byte, s string) bool {
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// hexVal decodes one lowercase hex digit; uppercase is invalid per the
+// W3C spec.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"encoding/binary"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingSize is the recent-trace ring capacity when Config leaves
+// RingSize zero.
+const DefaultRingSize = 256
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// SampleProb is the head-sampling probability in [0, 1]. Zero keeps
+	// only forced (traceparent sampled flag), error and slow traces.
+	SampleProb float64
+
+	// SlowQuery is the slow-query threshold: a request whose total
+	// duration reaches it is always kept and, when Logger is set, logged
+	// with its full phase breakdown. Zero or negative disables.
+	SlowQuery time.Duration
+
+	// RingSize bounds the recent-trace ring served at /v1/traces.
+	// Defaults to DefaultRingSize.
+	RingSize int
+
+	// Logger receives the structured slow-query log. Nil disables
+	// logging; retention is unaffected.
+	Logger *slog.Logger
+
+	// Seed seeds the sampling and id generator, for deterministic tests.
+	// Zero derives a seed from the clock.
+	Seed uint64
+}
+
+// A Tracer owns the trace pool, the sampling decision, the recent-trace
+// ring and the slow-query log. One Tracer serves one HTTP handler; all
+// methods are safe for concurrent use.
+type Tracer struct {
+	prob   float64
+	slow   time.Duration
+	logger *slog.Logger
+	rng    atomic.Uint64
+	pool   sync.Pool
+	ring   ring
+
+	started  atomic.Uint64
+	recorded atomic.Uint64
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	prob := cfg.SampleProb
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	t := &Tracer{prob: prob, slow: cfg.SlowQuery, logger: cfg.Logger}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	t.rng.Store(seed)
+	t.ring.buf = make([]*Recorded, size)
+	t.pool.New = func() any {
+		return &Trace{spans: make([]span, 0, maxSpans)}
+	}
+	return t
+}
+
+// SlowThreshold returns the configured slow-query threshold (zero when
+// disabled).
+func (t *Tracer) SlowThreshold() time.Duration { return t.slow }
+
+// rand64 is one splitmix64 step over shared atomic state: cheap,
+// allocation-free, and good enough for sampling decisions and ids.
+func (t *Tracer) rand64() uint64 {
+	x := t.rng.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StartRequest begins the trace for one request. name becomes the root
+// span's name. parent carries the incoming traceparent, if any: a valid
+// parent's trace id is adopted and its sampled flag forces retention.
+// The returned Trace comes from a pool and must be handed to Finish
+// exactly once; in steady state this path allocates nothing.
+func (t *Tracer) StartRequest(name string, parent Traceparent) *Trace {
+	tr := t.pool.Get().(*Trace)
+	tr.tracer = t
+	if parent.Valid {
+		tr.id = parent.TraceID
+		tr.parent = parent.SpanID
+		tr.forced = parent.Flags&FlagSampled != 0
+	} else {
+		binary.BigEndian.PutUint64(tr.id[:8], t.rand64())
+		binary.BigEndian.PutUint64(tr.id[8:], t.rand64())
+		if tr.id.IsZero() {
+			tr.id[15] = 1
+		}
+		tr.parent = SpanID{}
+		tr.forced = false
+	}
+	binary.BigEndian.PutUint64(tr.root[:], t.rand64())
+	if tr.root.IsZero() {
+		tr.root[7] = 1
+	}
+	tr.head = tr.forced || (t.prob > 0 && float64(t.rand64()>>11)/(1<<53) < t.prob)
+	tr.start = time.Now()
+	tr.spans = append(tr.spans[:0], span{name: name})
+	t.started.Add(1)
+	return tr
+}
+
+// Finish ends the root span and decides the trace's fate: kept (head
+// sampled, error, or at/over the slow-query threshold) and copied into
+// the recent-trace ring — logging the slow ones — or dropped. Either way
+// the Trace is recycled and must not be used afterwards. Finish returns
+// the immutable recorded form, or nil when the trace was dropped.
+func (t *Tracer) Finish(tr *Trace, isErr bool) *Recorded {
+	if t == nil || tr == nil {
+		return nil
+	}
+	d := time.Since(tr.start)
+	tr.mu.Lock()
+	root := &tr.spans[0]
+	if !root.ended {
+		root.ended = true
+		root.end = d
+	}
+	slow := t.slow > 0 && root.end >= t.slow
+	if !tr.head && !isErr && !slow {
+		tr.mu.Unlock()
+		t.recycle(tr)
+		return nil
+	}
+	rec := buildRecorded(tr, isErr, slow)
+	tr.mu.Unlock()
+	t.recycle(tr)
+	t.recorded.Add(1)
+	t.ring.add(rec)
+	if slow && t.logger != nil {
+		t.logSlow(rec)
+	}
+	return rec
+}
+
+// recycle resets the trace and returns it to the pool. Span storage is
+// kept (capacity reuse); stale annotation strings in the backing array
+// are overwritten as slots are reused and are bounded by maxSpans.
+func (t *Tracer) recycle(tr *Trace) {
+	tr.tracer = nil
+	tr.mu.Lock()
+	tr.spans = tr.spans[:0]
+	tr.mu.Unlock()
+	t.pool.Put(tr)
+}
+
+// Recent returns the ring contents, newest first.
+func (t *Tracer) Recent() []*Recorded { return t.ring.snapshot() }
+
+// Stats returns the number of traces started and kept since New.
+func (t *Tracer) Stats() (started, recorded uint64) {
+	return t.started.Load(), t.recorded.Load()
+}
+
+// Recorded is the immutable exported form of a kept trace, shaped for
+// the /v1/traces JSON response. Spans[0] is the root.
+type Recorded struct {
+	TraceID    string         `json:"trace_id"`
+	ParentSpan string         `json:"parent_span_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Reason     string         `json:"reason"` // "error", "slow" or "sampled"
+	Error      bool           `json:"error,omitempty"`
+	Spans      []RecordedSpan `json:"spans"`
+}
+
+// RecordedSpan is one phase of a recorded trace. StartMS is the offset
+// from the trace start. The root span carries the tracer-generated
+// random id; child span ids are per-trace sequence numbers.
+type RecordedSpan struct {
+	SpanID     string         `json:"span_id"`
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// buildRecorded copies the in-flight trace into its exported form. The
+// caller holds tr.mu. Spans never ended (a handler that panicked past
+// its End) are closed at the root's end time.
+func buildRecorded(tr *Trace, isErr, slow bool) *Recorded {
+	root := &tr.spans[0]
+	reason := "sampled"
+	switch {
+	case isErr:
+		reason = "error"
+	case slow:
+		reason = "slow"
+	}
+	rec := &Recorded{
+		TraceID:    tr.id.String(),
+		Name:       root.name,
+		Start:      tr.start,
+		DurationMS: ms(root.end),
+		Reason:     reason,
+		Error:      isErr,
+		Spans:      make([]RecordedSpan, len(tr.spans)),
+	}
+	if !tr.parent.IsZero() {
+		rec.ParentSpan = tr.parent.String()
+	}
+	for i := range tr.spans {
+		sp := &tr.spans[i]
+		end := sp.end
+		if !sp.ended {
+			end = root.end
+		}
+		var id SpanID
+		if i == 0 {
+			id = tr.root
+		} else {
+			binary.BigEndian.PutUint64(id[:], uint64(i))
+		}
+		rs := RecordedSpan{
+			SpanID:     id.String(),
+			Name:       sp.name,
+			StartMS:    ms(sp.start),
+			DurationMS: ms(end - sp.start),
+		}
+		if sp.nattrs > 0 {
+			rs.Attrs = make(map[string]any, sp.nattrs)
+			for _, a := range sp.attrs[:sp.nattrs] {
+				if a.isNum {
+					rs.Attrs[a.key] = a.num
+				} else {
+					rs.Attrs[a.key] = a.str
+				}
+			}
+		}
+		rec.Spans[i] = rs
+	}
+	return rec
+}
+
+// logSlow emits one structured slow-query record: trace id, endpoint,
+// total duration, the root span's request-level attributes, and a
+// phase_<name>_ms field per phase (durations summed across same-named
+// spans, keys sorted for deterministic output).
+func (t *Tracer) logSlow(rec *Recorded) {
+	phases := make(map[string]float64, len(rec.Spans))
+	for _, sp := range rec.Spans[1:] {
+		phases[sp.Name] += sp.DurationMS
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	args := make([]any, 0, 8+2*len(rec.Spans[0].Attrs)+2*len(names))
+	args = append(args,
+		"trace_id", rec.TraceID,
+		"name", rec.Name,
+		"duration_ms", rec.DurationMS,
+		"reason", rec.Reason,
+	)
+	rootKeys := make([]string, 0, len(rec.Spans[0].Attrs))
+	for k := range rec.Spans[0].Attrs {
+		rootKeys = append(rootKeys, k)
+	}
+	sort.Strings(rootKeys)
+	for _, k := range rootKeys {
+		args = append(args, k, rec.Spans[0].Attrs[k])
+	}
+	for _, name := range names {
+		args = append(args, "phase_"+name+"_ms", phases[name])
+	}
+	t.logger.Warn("slow query", args...)
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// ring is a fixed-size overwrite buffer of recent recorded traces.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*Recorded
+	next int
+	n    int
+}
+
+func (r *ring) add(rec *Recorded) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the ring contents newest-first.
+func (r *ring) snapshot() []*Recorded {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Recorded, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -43,7 +43,7 @@ EOF
 # machine-independent (the default shard count tracks GOMAXPROCS).
 "$WORK/chordalctl" -serve 127.0.0.1:0 \
   -registry "library=$WORK/library.txt,tiny=$WORK/tiny.txt" \
-  -max-terminals 5 -cache-shards 4 > "$WORK/server.log" 2>&1 &
+  -max-terminals 5 -cache-shards 4 -log-format json > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the announced listen address.
@@ -109,6 +109,24 @@ grep -qF 'chordal_cache_shard_entries{scheme="library",shard="3"}' "$METRICS" \
 grep -q 'chordal_http_inflight_limit 256' "$METRICS" \
   || { echo "/metrics inflight limit should be the serve default (256)" >&2; exit 1; }
 echo "metrics smoke OK ($(grep -c '^chordal_' "$METRICS") series)"
+
+# Tracing smoke: a request carrying a sampled W3C traceparent must be
+# retained under that trace id, resolvable on GET /v1/traces with its
+# phase spans, and the id stamped into the JSON access log. Stays out of
+# the golden diff — trace ids and durations vary run to run.
+TRACE_ID=0123456789abcdef0123456789abcdef
+curl -sS -o /dev/null -H 'Content-Type: application/json' \
+  -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+  -d '{"scheme":"library","labels":["A","B"]}' "$BASE/v1/connect"
+TRACES="$WORK/traces.json"
+curl -sS "$BASE/v1/traces" > "$TRACES"
+grep -qF "\"trace_id\":\"$TRACE_ID\"" "$TRACES" \
+  || { echo "/v1/traces missing propagated trace $TRACE_ID" >&2; cat "$TRACES" >&2; exit 1; }
+grep -qF '"name":"solve"' "$TRACES" \
+  || { echo "/v1/traces entry has no solve phase span" >&2; cat "$TRACES" >&2; exit 1; }
+grep -qF "\"trace_id\":\"$TRACE_ID\"" "$WORK/server.log" \
+  || { echo "JSON access log not stamped with trace $TRACE_ID" >&2; cat "$WORK/server.log" >&2; exit 1; }
+echo "tracing smoke OK (trace $TRACE_ID propagated end to end)"
 
 # Graceful shutdown: SIGTERM must produce a clean exit.
 kill -TERM "$SERVER_PID"
