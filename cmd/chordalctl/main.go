@@ -20,6 +20,11 @@
 // .snap file (sniffed by magic, not extension) — snapshots boot with zero
 // recompilation. Catalog entries compile/load concurrently on the
 // -workers pool; -v reports per-scheme timing and provenance on stderr.
+// -compile -warm queries.txt additionally answers the query file (same
+// line format as -batch) through a Service and persists the settled
+// answers as the snapshot's warmup section: a process booting the
+// snapshot starts with those answers already cached, visible as
+// warm_fills in /v1/stats.
 //
 // With -load the tool becomes a load harness: "-load self" boots an
 // in-process server over a deterministic multi-tenant scheme mix (one
@@ -36,7 +41,7 @@
 // Usage:
 //
 //	chordalctl [-hypergraph] [-json] [file]
-//	chordalctl -compile out.snap [-hypergraph] [file]
+//	chordalctl -compile out.snap [-hypergraph] [-warm queries.txt] [file]
 //	chordalctl -batch queries.txt [-workers n] [-timeout d] [-cache-shards n] [-cpuprofile f] [-memprofile f] [file]
 //	chordalctl -registry name=file[,name=file...] [-batch queries.txt] [-workers n] [-timeout d] [-cache-shards n]
 //	chordalctl -serve addr [-registry name=file,...] [-max-inflight n] [-max-terminals n] [-cache-shards n] [-trace-sample p] [-slow-query-ms n] [-log-format json|text] [-cpuprofile f] [-memprofile f] [file]
@@ -132,7 +137,7 @@ func (e *batchError) Error() string {
 // run implements the tool; factored out of main for tests.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error) {
 	hyper, jsonOut, verbose := false, false, false
-	batch, registry, serve, compile := "", "", "", ""
+	batch, registry, serve, compile, warm := "", "", "", "", ""
 	cpuprofile, memprofile := "", ""
 	workers := 0
 	maxInFlight, maxInFlightSet := httpd.DefaultMaxInFlight, false
@@ -159,6 +164,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 				return fmt.Errorf("-compile needs an output file argument")
 			}
 			compile = args[i]
+		case "-warm", "--warm":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-warm needs a query file argument")
+			}
+			warm = args[i]
 		case "-serve", "--serve":
 			i++
 			if i >= len(args) {
@@ -469,7 +480,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (retErr error
 		case timeout > 0:
 			return fmt.Errorf("-timeout does not apply to -compile")
 		}
-		return runCompile(compile, files, stdin, stdout, stderr, hyper, verbose)
+		return runCompile(compile, warm, files, stdin, stdout, stderr, hyper, verbose)
+	}
+	if warm != "" {
+		return fmt.Errorf("-warm pre-answers queries into a -compile snapshot; it requires -compile")
 	}
 
 	if load.target != "" {
@@ -655,8 +669,11 @@ func verboseTo(verbose bool, w io.Writer) io.Writer {
 // epoch as an internal/snapshot catalog file, so later -registry/-serve
 // runs (or PUT uploads) boot it with zero recompilation. Serving budgets
 // (-max-terminals, -workers) are deliberately not accepted here: they are
-// load-time options, not part of the epoch.
-func runCompile(out string, files []string, stdin io.Reader, stdout, stderr io.Writer, hyper, verbose bool) error {
+// load-time options, not part of the epoch. With -warm the query file is
+// answered through a Service first and the settled answers ride along as
+// the snapshot's warmup section, so whatever loads the snapshot boots with
+// those answers already cached.
+func runCompile(out, warm string, files []string, stdin io.Reader, stdout, stderr io.Writer, hyper, verbose bool) error {
 	in := stdin
 	if len(files) > 0 {
 		f, err := os.Open(files[0])
@@ -672,7 +689,19 @@ func runCompile(out string, files []string, stdin io.Reader, stdout, stderr io.W
 	}
 	start := time.Now()
 	conn := core.New(b)
-	data := snapshot.Encode(conn.Frozen(), conn.Class())
+	var data []byte
+	warmed := 0
+	if warm != "" {
+		svc := core.NewService(conn)
+		if err := warmService(svc, warm); err != nil {
+			return err
+		}
+		entries := svc.WarmupEntries()
+		warmed = len(entries)
+		data = snapshot.EncodeWarm(conn.Frozen(), conn.Class(), entries)
+	} else {
+		data = snapshot.Encode(conn.Frozen(), conn.Class())
+	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
@@ -681,6 +710,34 @@ func runCompile(out string, files []string, stdin io.Reader, stdout, stderr io.W
 	}
 	fmt.Fprintf(stdout, "chordalctl: compiled %d nodes, %d arcs -> %s (%d bytes, format v%d)\n",
 		b.N(), b.M(), out, len(data), snapshot.Version)
+	if warm != "" {
+		fmt.Fprintf(stdout, "chordalctl: warmed %d cache entries from %s\n", warmed, warm)
+	}
+	return nil
+}
+
+// warmService answers every query of the -warm file through svc so the
+// answers settle into its cache. Warming is a build step, not serving:
+// any failing line (unknown label, disconnected terminals) aborts the
+// compile rather than silently persisting a partial warmup.
+func warmService(svc *core.Service, warmFile string) error {
+	f, err := os.Open(warmFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	queries, err := parseQueries(f, false, func(string) (*core.Service, error) { return svc, nil })
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if q.err != nil {
+			return fmt.Errorf("-warm %s line %d (%s): %w", warmFile, q.lineNo, q.display, q.err)
+		}
+		if _, err := svc.Connect(context.Background(), q.terms); err != nil {
+			return fmt.Errorf("-warm %s line %d (%s): %w", warmFile, q.lineNo, q.display, err)
+		}
+	}
 	return nil
 }
 

@@ -34,6 +34,83 @@ func TestRunCompile(t *testing.T) {
 	}
 }
 
+// TestRunCompileWarm: -compile -warm answers the query file and persists
+// the settled answers as the snapshot's warmup section; a registry booted
+// from the snapshot answers those queries out of the restored cache,
+// identically to the live-compiled scheme.
+func TestRunCompileWarm(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "fig3c.txt")
+	if err := os.WriteFile(txt, []byte(fig3cInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warmQ := filepath.Join(dir, "warm.txt")
+	if err := os.WriteFile(warmQ, []byte("A C\nB 3\n# comment\n1 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fig3c.snap")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-compile", out, "-warm", warmQ, txt}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "warmed 3 cache entries") {
+		t.Errorf("unexpected -compile -warm output:\n%s", stdout.String())
+	}
+	snap, err := snapshot.ReadFile(out)
+	if err != nil {
+		t.Fatalf("warm snapshot does not decode: %v", err)
+	}
+	if len(snap.Warmup) != 3 {
+		t.Fatalf("snapshot carries %d warm entries, want 3", len(snap.Warmup))
+	}
+
+	// The warmed snapshot answers exactly like a live compile.
+	queries := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(queries, []byte("live: A C\nwarm: A C\nlive: B 3\nwarm: B 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if err := run([]string{"-registry", "live=" + txt + ",warm=" + out, "-batch", queries},
+		nil, &stdout, &stderr); err != nil {
+		t.Fatalf("registry batch over warm snapshot failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	strip := func(s string) string {
+		s = strings.Replace(s, "[live: ", "[", 1)
+		return strings.Replace(s, "[warm: ", "[", 1)
+	}
+	for i := 0; i+1 < len(lines); i += 2 {
+		a := strip(strings.SplitN(lines[i], " ", 3)[2])
+		b := strip(strings.SplitN(lines[i+1], " ", 3)[2])
+		if a != b {
+			t.Errorf("live and warm answers diverge:\n  %s\n  %s", lines[i], lines[i+1])
+		}
+	}
+}
+
+// TestRunCompileWarmErrors: a bad warm query aborts the compile (no
+// partial warmup is persisted), and -warm without -compile is rejected.
+func TestRunCompileWarmErrors(t *testing.T) {
+	dir := t.TempDir()
+	warmQ := filepath.Join(dir, "warm.txt")
+	if err := os.WriteFile(warmQ, []byte("A NOPE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.snap")
+	var discard bytes.Buffer
+	err := run([]string{"-compile", out, "-warm", warmQ}, strings.NewReader(fig3cInput), &discard, &discard)
+	if err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("bad warm label error = %v", err)
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Fatalf("failed warm compile still wrote %s", out)
+	}
+	err = run([]string{"-warm", warmQ}, strings.NewReader(fig3cInput), &discard, &discard)
+	if err == nil || !strings.Contains(err.Error(), "-compile") {
+		t.Fatalf("-warm without -compile error = %v", err)
+	}
+}
+
 // TestRunCompileVerbose: -v adds timing to stderr, stdout stays stable.
 func TestRunCompileVerbose(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.snap")

@@ -1,7 +1,7 @@
 package cache
 
 import (
-	"container/list"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,7 +33,12 @@ func ceilPow2(n int) int {
 	return p
 }
 
-// Cache is a sharded string-keyed LRU map. The zero value is not usable;
+// Cache is a sharded string-keyed map with a lock-free hit path: each
+// shard publishes an immutable index through an atomic pointer, so reads
+// never take the shard mutex; writers copy, mutate and re-publish under
+// it. Recency is tracked by sampled atomic stamps against a per-shard tick
+// rather than a strict LRU list, and eviction weighs recency against the
+// recorded cost of recomputing the entry. The zero value is not usable;
 // construct with New. All methods are safe for concurrent use.
 type Cache[V comparable] struct {
 	mask     uint64
@@ -41,29 +46,58 @@ type Cache[V comparable] struct {
 	// evictions counts entries dropped by capacity pressure across all
 	// shards; atomic so Evictions never takes a shard lock.
 	evictions atomic.Uint64
-	shards    []shard[V]
+	// lockAcquires counts every shard-mutex acquisition; tests subtract
+	// snapshots around a hit-only workload to prove the read path is
+	// lock-free.
+	lockAcquires atomic.Uint64
+	shards       []shard[V]
 }
 
-// shard is one independently locked slice of the key space. The trailing
-// pad keeps neighbouring shards' mutexes off one cache line — the whole
-// point of sharding is that two cores hitting different shards do not
-// ping-pong a line between them. The per-shard counters are plain fields
-// guarded by mu: they are only touched inside sections that already hold
-// the lock, so atomics would buy nothing.
+// sampleEvery is the hit-path recency sampling period: every Nth hit on a
+// shard advances the shard's tick. Hits inside one window share a stamp
+// and tie-break on insertion order, which is as much ordering as eviction
+// needs.
+const sampleEvery = 16
+
+// shard is one independently locked slice of the key space. The index —
+// an immutable map republished wholesale on every mutation — is the only
+// structure readers touch; mu serializes writers (insert, evict, remove,
+// cost fills). Counters are atomics so the hit path and the stats
+// methods never need the lock either; the miss-path counters are only
+// written under mu but are read lock-free by ShardStats. The trailing
+// pad keeps neighbouring shards' hot fields off one cache line.
 type shard[V comparable] struct {
-	mu        sync.Mutex
-	table     map[string]*list.Element
-	order     *list.List // front = most recently used; values are *entry[V]
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	_         [64]byte
+	idx atomic.Pointer[map[string]*entry[V]]
+	mu  sync.Mutex
+	// tick is the shard's recency clock. Every insert advances it (so an
+	// insert always outranks everything older), and the hit path advances
+	// it once per sampleEvery hits — enough resolution for eviction
+	// ordering without a read-modify-write per hit. It is per shard, not
+	// cache-global: eviction only ever compares entries within one shard,
+	// and a global clock would make every hit on every shard load (and
+	// periodically write) one contended cache line.
+	tick        atomic.Int64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	warmFills   atomic.Uint64
+	costAdded   atomic.Uint64
+	costEvicted atomic.Uint64
+	costRemoved atomic.Uint64
+	costSaved   atomic.Uint64
+	_           [64]byte
 }
 
-// entry is one resident key/value pair, held by the shard's LRU list.
+// entry is one resident key/value pair. key, val and seq are immutable
+// after insert; stamp and cost are atomics because the lock-free hit
+// path refreshes recency (and reads cost) while writers scan for
+// eviction victims.
 type entry[V comparable] struct {
-	key string
-	val V
+	key   string
+	val   V
+	seq   int64 // insertion tick: eviction tie-break, oldest first
+	stamp atomic.Int64
+	cost  atomic.Int64 // recompute cost in nanoseconds (0 = unrecorded)
 }
 
 // New returns a Cache holding at least capacity entries split over the
@@ -86,9 +120,9 @@ func New[V comparable](capacity, shards int) *Cache[V] {
 		perShard: perShard,
 		shards:   make([]shard[V], shards),
 	}
+	empty := make(map[string]*entry[V])
 	for i := range c.shards {
-		c.shards[i].table = make(map[string]*list.Element, perShard)
-		c.shards[i].order = list.New()
+		c.shards[i].idx.Store(&empty)
 	}
 	return c
 }
@@ -116,36 +150,173 @@ func (c *Cache[V]) ShardIndex(key string) int {
 	return int(h & c.mask)
 }
 
+// lock acquires a shard's mutex through the instrumentation counter.
+// Every mutation path must come through here — the lock-free-hit test
+// asserts LockAcquisitions stays flat across a hit-only workload, which
+// is only meaningful if no Lock call bypasses the counter.
+func (c *Cache[V]) lock(s *shard[V]) {
+	c.lockAcquires.Add(1)
+	s.mu.Lock()
+}
+
+// noteHit records a successful lock-free lookup: bump the shard hit
+// counter, advance the shard tick on the sampling period, and refresh
+// the entry's recency stamp to strictly above every already-resident
+// entry's insert stamp in the current window. The stamp store is a plain
+// atomic write (no read-modify-write) and is skipped when the stamp is
+// already current, so concurrent hits on one hot entry mostly leave its
+// cache line in shared state instead of ping-ponging it.
+func (c *Cache[V]) noteHit(s *shard[V], e *entry[V]) {
+	if s.hits.Add(1)%sampleEvery == 0 {
+		s.tick.Add(1)
+	}
+	if t := s.tick.Load() + 1; e.stamp.Load() != t {
+		e.stamp.Store(t)
+	}
+	if cost := e.cost.Load(); cost > 0 {
+		s.costSaved.Add(uint64(cost))
+	}
+}
+
 // GetOrAdd returns the value cached under key with hit=true, refreshing
 // its recency — or, when key is absent, inserts the value produced by
-// newf and returns it with hit=false, evicting the shard's
-// least-recently-used entry if the insert pushes the shard over capacity.
-// The lookup-or-insert is atomic with respect to the key's shard: of any
-// number of concurrent callers with the same absent key, exactly one runs
-// newf and the rest observe its value as a hit. newf runs with the shard
-// lock held and must not call back into the Cache.
+// newf and returns it with hit=false, evicting the shard's lowest-scored
+// entry if the insert pushes the shard over capacity. The hit path is
+// lock-free: it resolves against the shard's published index and never
+// touches the mutex. The lookup-or-insert is atomic with respect to the
+// key's shard: of any number of concurrent callers with the same absent
+// key, exactly one runs newf and the rest observe its value as a hit.
+// newf runs with the shard lock held and must not call back into the
+// Cache.
 func (c *Cache[V]) GetOrAdd(key string, newf func() V) (v V, hit bool) {
 	s := c.shardFor(key)
-	s.mu.Lock()
-	if e, ok := s.table[key]; ok {
-		s.order.MoveToFront(e)
-		v = e.Value.(*entry[V]).val
-		s.hits++
+	if e, ok := (*s.idx.Load())[key]; ok {
+		c.noteHit(s, e)
+		return e.val, true
+	}
+	c.lock(s)
+	// Re-check against the index current under the lock: a concurrent
+	// writer may have inserted key between the lock-free probe and here.
+	if e, ok := (*s.idx.Load())[key]; ok {
 		s.mu.Unlock()
-		return v, true
+		c.noteHit(s, e)
+		return e.val, true
 	}
 	v = newf()
-	s.misses++
-	s.table[key] = s.order.PushFront(&entry[V]{key: key, val: v})
-	if s.order.Len() > c.perShard {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.table, oldest.Value.(*entry[V]).key)
-		s.evictions++
-		c.evictions.Add(1)
-	}
+	s.misses.Add(1)
+	c.insertLocked(s, key, v, 0)
 	s.mu.Unlock()
 	return v, false
+}
+
+// Get returns the value cached under key, if any, refreshing its recency
+// like a GetOrAdd hit. Lock-free. Absent keys are not counted as misses
+// (only insert attempts are), so Get does not disturb the entries ==
+// misses + warmFills − evictions − removals reconciliation.
+func (c *Cache[V]) Get(key string) (v V, ok bool) {
+	s := c.shardFor(key)
+	if e, found := (*s.idx.Load())[key]; found {
+		c.noteHit(s, e)
+		return e.val, true
+	}
+	return v, false
+}
+
+// Add inserts key→val with a pre-recorded recompute cost iff key is
+// absent, and reports whether it inserted. It is the warm-fill primitive
+// behind snapshot warmup restore and epoch-swap carry-over: successful
+// inserts count as warm fills, not misses, so cold-start accounting stays
+// distinguishable from serving traffic.
+func (c *Cache[V]) Add(key string, val V, costNanos int64) bool {
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	if _, ok := (*s.idx.Load())[key]; ok {
+		return false
+	}
+	s.warmFills.Add(1)
+	c.insertLocked(s, key, val, costNanos)
+	return true
+}
+
+// SetCost records the recompute cost of key's entry, iff it is still
+// mapped to v (the Remove identity rule) and no cost has been recorded
+// yet. The Service calls it once per fill after the solve completes —
+// the fill path inserts before computing, so the wall time is only known
+// afterwards. Reports whether the cost was recorded.
+func (c *Cache[V]) SetCost(key string, v V, costNanos int64) bool {
+	if costNanos <= 0 {
+		return false
+	}
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	e, ok := (*s.idx.Load())[key]
+	if !ok || e.val != v || e.cost.Load() != 0 {
+		return false
+	}
+	e.cost.Store(costNanos)
+	s.costAdded.Add(uint64(costNanos))
+	return true
+}
+
+// insertLocked publishes a new index containing key→val, evicting the
+// lowest-scored resident entry if the shard is over capacity. Caller
+// holds s.mu. The new entry's insert advances the shard tick, so it
+// outranks every entry not hit in the current window; it is itself
+// exempt from this eviction scan (it is by construction the most recent).
+func (c *Cache[V]) insertLocked(s *shard[V], key string, val V, costNanos int64) {
+	seq := s.tick.Add(1)
+	e := &entry[V]{key: key, val: val, seq: seq}
+	e.stamp.Store(seq)
+	e.cost.Store(costNanos)
+	if costNanos > 0 {
+		s.costAdded.Add(uint64(costNanos))
+	}
+	old := *s.idx.Load()
+	next := make(map[string]*entry[V], len(old)+1)
+	for k, oe := range old {
+		next[k] = oe
+	}
+	next[key] = e
+	if len(next) > c.perShard {
+		var victim *entry[V]
+		var vScore int64
+		for _, oe := range next {
+			if oe == e {
+				continue
+			}
+			score := oe.stamp.Load() + costBonus(oe.cost.Load())
+			if victim == nil || score < vScore || (score == vScore && oe.seq < victim.seq) {
+				victim, vScore = oe, score
+			}
+		}
+		delete(next, victim.key)
+		s.evictions.Add(1)
+		c.evictions.Add(1)
+		if cost := victim.cost.Load(); cost > 0 {
+			s.costEvicted.Add(uint64(cost))
+		}
+	}
+	s.idx.Store(&next)
+}
+
+// costBonus converts a recompute cost into extra recency ticks: an entry
+// worth costNanos of solver time scores as if it were hit 8·log₂(cost in
+// ~0.5ms units) ticks more recently than its stamp says. Costs under
+// ~0.5ms carry no bonus at all — at that scale recomputing is about as
+// cheap as serving, so cheap entries (tree-scheme lookups, small
+// heuristics) compete on pure recency and the policy degenerates to
+// exact LRU (which the determinism tests rely on). Above the floor the
+// bonus is logarithmic and bounded (≈8 ticks per cost doubling, well
+// under 400 ticks for any real cost), so an expensive exact solve
+// outlives cheap neighbours of equal recency but cannot pin its slot
+// forever once it goes cold.
+func costBonus(costNanos int64) int64 {
+	if costNanos <= 0 {
+		return 0
+	}
+	return int64(8 * bits.Len64(uint64(costNanos)>>19))
 }
 
 // Remove drops key iff it is still mapped to v and reports whether it
@@ -156,27 +327,50 @@ func (c *Cache[V]) GetOrAdd(key string, newf func() V) (v V, hit bool) {
 // Evictions.
 func (c *Cache[V]) Remove(key string, v V) bool {
 	s := c.shardFor(key)
-	s.mu.Lock()
+	c.lock(s)
 	defer s.mu.Unlock()
-	if e, ok := s.table[key]; ok && e.Value.(*entry[V]).val == v {
-		s.order.Remove(e)
-		delete(s.table, key)
-		return true
+	old := *s.idx.Load()
+	e, ok := old[key]
+	if !ok || e.val != v {
+		return false
 	}
-	return false
+	next := make(map[string]*entry[V], len(old))
+	for k, oe := range old {
+		if k != key {
+			next[k] = oe
+		}
+	}
+	if cost := e.cost.Load(); cost > 0 {
+		s.costRemoved.Add(uint64(cost))
+	}
+	s.idx.Store(&next)
+	return true
 }
 
-// Len returns the total number of resident entries, summed across shards.
-// Each shard is locked briefly in turn, so the sum is not an atomic
+// Range calls f for every resident entry with its recorded cost, until f
+// returns false. It reads each shard's published index lock-free, so the
+// view is consistent per shard but not across shards under concurrent
+// writes — the same contract as the stats methods. Range does not count
+// hits or refresh recency; it exists for warmup serialization and
+// diagnostics, not serving.
+func (c *Cache[V]) Range(f func(key string, v V, costNanos int64) bool) {
+	for i := range c.shards {
+		for _, e := range *c.shards[i].idx.Load() {
+			if !f(e.key, e.val, e.cost.Load()) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the total number of resident entries, summed across the
+// shards' published indexes. Lock-free; the sum is not an atomic
 // point-in-time snapshot under concurrent writes — fine for monitoring,
 // which is its job.
 func (c *Cache[V]) Len() int {
 	n := 0
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += s.order.Len()
-		s.mu.Unlock()
+		n += len(*c.shards[i].idx.Load())
 	}
 	return n
 }
@@ -187,44 +381,96 @@ func (c *Cache[V]) Len() int {
 func (c *Cache[V]) Occupancy() []int {
 	occ := make([]int, len(c.shards))
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		occ[i] = s.order.Len()
-		s.mu.Unlock()
+		occ[i] = len(*c.shards[i].idx.Load())
 	}
 	return occ
 }
 
 // ShardStat is one shard's counters and occupancy, as returned by
-// ShardStats. Hits and Misses count GetOrAdd outcomes on keys hashing to
-// the shard; Evictions counts capacity-pressure drops (conditional
-// Removes are not counted, matching Evictions()).
+// ShardStats. Hits counts successful lock-free lookups (GetOrAdd hits
+// and Gets) on keys hashing to the shard; Misses counts GetOrAdd
+// inserts; WarmFills counts Add inserts; Evictions counts
+// capacity-pressure drops (conditional Removes are not counted, matching
+// Evictions()). The Cost fields carry the recompute-cost ledger in
+// nanoseconds: CostAdded − CostEvicted − CostRemoved is the cost resident
+// in the shard, and CostSaved accumulates the cost of every hit — solver
+// time the cache turned into a map lookup.
 type ShardStat struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	WarmFills   uint64
+	Entries     int
+	CostAdded   uint64
+	CostEvicted uint64
+	CostRemoved uint64
+	CostSaved   uint64
 }
 
 // ShardStats returns per-shard counters and occupancy, in shard order —
 // the observability view behind per-shard /metrics series. Hits sum to
 // the hit total, misses to the miss total, evictions to Evictions().
-// Each shard is locked briefly in turn (like Occupancy), so the slice is
-// consistent per shard but not across shards under concurrent writes.
+// Lock-free: each shard's counters are atomics and its entry count comes
+// off the published index, so the slice is approximately consistent per
+// shard but never blocks a writer.
 func (c *Cache[V]) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(c.shards))
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.Lock()
 		out[i] = ShardStat{
-			Hits:      s.hits,
-			Misses:    s.misses,
-			Evictions: s.evictions,
-			Entries:   s.order.Len(),
+			Hits:        s.hits.Load(),
+			Misses:      s.misses.Load(),
+			Evictions:   s.evictions.Load(),
+			WarmFills:   s.warmFills.Load(),
+			Entries:     len(*s.idx.Load()),
+			CostAdded:   s.costAdded.Load(),
+			CostEvicted: s.costEvicted.Load(),
+			CostRemoved: s.costRemoved.Load(),
+			CostSaved:   s.costSaved.Load(),
 		}
-		s.mu.Unlock()
 	}
 	return out
+}
+
+// CostStats is the cache-wide recompute-cost ledger, in nanoseconds of
+// solver wall time: Added accumulates costs recorded at fill (SetCost
+// and warm Adds), Evicted and Removed the cost of entries dropped by
+// capacity pressure and conditional removal, and Saved the cost of every
+// hit. Resident cost — solver time currently banked in the cache — is
+// Added − Evicted − Removed, an identity the reconciliation tests
+// assert.
+type CostStats struct {
+	Added   uint64
+	Evicted uint64
+	Removed uint64
+	Saved   uint64
+}
+
+// Resident returns the cost currently banked in resident entries.
+func (cs CostStats) Resident() uint64 { return cs.Added - cs.Evicted - cs.Removed }
+
+// CostStats sums the per-shard cost ledgers. Lock-free, monitoring-grade
+// consistency like ShardStats.
+func (c *Cache[V]) CostStats() CostStats {
+	var cs CostStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		cs.Added += s.costAdded.Load()
+		cs.Evicted += s.costEvicted.Load()
+		cs.Removed += s.costRemoved.Load()
+		cs.Saved += s.costSaved.Load()
+	}
+	return cs
+}
+
+// WarmFills returns how many entries were installed by Add (warm fills)
+// across all shards since construction.
+func (c *Cache[V]) WarmFills() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].warmFills.Load()
+	}
+	return n
 }
 
 // Shards returns the shard count (always a power of two).
@@ -241,3 +487,8 @@ func (c *Cache[V]) Capacity() int { return len(c.shards) * c.perShard }
 // Evictions returns how many entries capacity pressure has dropped across
 // all shards since construction. Conditional Removes are not counted.
 func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// LockAcquisitions returns how many times any shard mutex has been
+// acquired since construction — by design zero over a hit-only workload,
+// which the concurrency tests assert to pin the read path lock-free.
+func (c *Cache[V]) LockAcquisitions() uint64 { return c.lockAcquires.Load() }

@@ -79,6 +79,12 @@ type Connector struct {
 	// enumeration, label resolution at the HTTP boundary).
 	thawOnce sync.Once
 	b        *bipartite.Graph
+
+	// fp is the lazily computed scheme fingerprint (SchemeFingerprint):
+	// an O(scheme) encode+hash paid at most once per connector, and only
+	// by code paths that actually compare epochs (warmup, epoch swaps).
+	fpOnce sync.Once
+	fp     []byte
 }
 
 // newConfig folds construction options over the defaults.
@@ -118,9 +124,17 @@ func Open(b *bipartite.Graph, opts ...Option) *Service {
 }
 
 // OpenSnapshot is Open for a decoded snapshot: a cached, concurrent
-// Service over the revived epoch, with zero recompile work.
+// Service over the revived epoch, with zero recompile work. When the
+// snapshot carries a warmup section (already fingerprint-validated by
+// Decode), its answers are installed before the Service is returned, so
+// the first queries of the new process are cache hits — entries the
+// service's own options reject are skipped, never installed.
 func OpenSnapshot(snap *snapshot.Snapshot, opts ...Option) *Service {
-	return NewService(NewFromSnapshot(snap, opts...), opts...)
+	svc := NewService(NewFromSnapshot(snap, opts...), opts...)
+	if len(snap.Warmup) > 0 {
+		svc.RestoreWarmup(snap.Warmup)
+	}
+	return svc
 }
 
 // Class returns the scheme's chordality classification.
@@ -135,6 +149,17 @@ func (c *Connector) SnapshotVersion() uint16 { return c.snapVersion }
 // instead of re-running Freeze+Classify.
 func (c *Connector) WriteSnapshot(w io.Writer) error {
 	return snapshot.Write(w, c.fb, c.class)
+}
+
+// SchemeFingerprint identifies the compiled epoch: the sha256 of its
+// canonical snapshot encoding (snapshot.EpochFingerprint). Two
+// connectors share a fingerprint iff they serve the identical scheme and
+// classification — the condition under which cached answers may flow
+// between them (warmup restore, Registry epoch-swap carry-over). Lazily
+// computed once and cached; the result must not be modified.
+func (c *Connector) SchemeFingerprint() []byte {
+	c.fpOnce.Do(func() { c.fp = snapshot.EpochFingerprint(c.fb, c.class) })
+	return c.fp
 }
 
 // Graph returns the mutable bipartite scheme view. For a live-compiled

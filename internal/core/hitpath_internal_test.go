@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServiceHitPathLockFree pins the PR's headline property at the
+// Service level: once an answer is settled in the cache, serving it again
+// — and reading stats alongside — acquires zero shard mutexes. The cache
+// counts every mutex acquisition; a warm replay must not move the needle.
+func TestServiceHitPathLockFree(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(New(tinyScheme()))
+	queries := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	for _, q := range queries {
+		if _, err := svc.Connect(ctx, q); err != nil {
+			t.Fatalf("warm-up connect %v: %v", q, err)
+		}
+	}
+
+	before := svc.cache.LockAcquisitions()
+	for i := 0; i < 200; i++ {
+		q := queries[i%len(queries)]
+		if _, err := svc.Connect(ctx, q); err != nil {
+			t.Fatalf("hit connect %v: %v", q, err)
+		}
+		_ = svc.Stats()
+		_ = svc.ShardStats()
+	}
+	if got := svc.cache.LockAcquisitions(); got != before {
+		t.Fatalf("warm replay acquired %d shard locks, want 0", got-before)
+	}
+	if st := svc.Stats(); st.Hits != 200 || st.Misses != uint64(len(queries)) {
+		t.Fatalf("replay accounting: %+v, want 200 hits over %d misses", st, len(queries))
+	}
+}

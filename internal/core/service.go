@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,10 +9,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/graph"
 	"repro/internal/intset"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/steiner"
 	"repro/internal/trace"
 )
@@ -71,12 +75,25 @@ type Service struct {
 
 // cacheEntry is one cached (or in-flight) answer. done is closed once conn
 // and err are populated; waiters block on it outside the shard lock. The
-// key lives in the cache's own entry; this side only needs the payload.
+// key lives in the cache's own entry; this side carries the payload plus
+// the query that produced it (terms, fp) so warmup serialization and
+// epoch-swap carry-over can revalidate an entry without parsing keys.
 type cacheEntry struct {
-	done chan struct{}
-	conn Connection
-	err  error
+	done  chan struct{}
+	conn  Connection
+	err   error
+	terms intset.Set
+	fp    string
 }
+
+// settledDone is the pre-closed channel shared by every entry installed
+// already settled (warmup restore, epoch-swap carry): waiters never block
+// on it.
+var settledDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // DefaultCacheSize is the answer-cache capacity used when NewService is
 // not given a positive WithCacheSize. The capacity is split across the
@@ -172,7 +189,9 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 		s.bypasses.Add(1)
 		return compute(ctx)
 	}
-	key := q.fingerprint() + "#" + intset.FromSlice(terminals).Key()
+	fp := q.fingerprint()
+	terms := intset.FromSlice(terminals)
+	key := fp + "#" + terms.Key()
 	// The cache span covers lookup and in-flight waiting, never the
 	// compute itself (that is the solve span), so a trace's phases tile
 	// the request without double counting. A retry after observing a
@@ -183,7 +202,7 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 	}
 	for {
 		ent, hit := s.cache.GetOrAdd(key, func() *cacheEntry {
-			return &cacheEntry{done: make(chan struct{})}
+			return &cacheEntry{done: make(chan struct{}), terms: terms, fp: fp}
 		})
 		if hit {
 			s.hits.Add(1)
@@ -242,6 +261,7 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 			}
 			close(ent.done)
 		}()
+		start := time.Now()
 		ent.conn, ent.err = compute(ctx)
 		completed = true
 		if isCtxErr(ent.err) {
@@ -252,6 +272,12 @@ func (s *Service) connectWith(ctx context.Context, terminals []int, q queryConfi
 			if s.cache.Remove(key, ent) {
 				s.removals.Add(1)
 			}
+		} else if ent.err == nil {
+			// Record what this answer cost to compute — eviction uses it to
+			// prefer dropping cheap-to-recompute entries, and a persisted
+			// warmup carries it forward. Identity-conditional like Remove,
+			// so a concurrent eviction + re-insert never inherits our cost.
+			s.cache.SetCost(key, ent, time.Since(start).Nanoseconds())
 		}
 		close(ent.done)
 		return ent.conn, ent.err
@@ -325,26 +351,42 @@ func (s *Service) ConnectBatch(ctx context.Context, queries [][]int, opts ...Que
 // CacheStats is a point-in-time snapshot of the answer cache. The
 // counters satisfy an exact reconciliation algebra (asserted by the test
 // harness and exported on /metrics): every cache-path request counts as
-// exactly one of Hits/Misses/Bypasses, every miss inserts one entry, and
-// every entry leaves by capacity eviction (Evictions) or deliberate
-// removal (Removals) — so Entries == Misses − Evictions − Removals.
+// exactly one of Hits/Misses/Bypasses; every miss and every warm fill
+// inserts one entry; and every entry leaves by capacity eviction
+// (Evictions) or deliberate removal (Removals) — so
+// Entries == Misses + WarmFills − Evictions − Removals. The cost ledger
+// satisfies its own identity:
+// CostResidentNanos == CostAddedNanos − CostEvictedNanos − CostRemovedNanos.
 type CacheStats struct {
 	Hits      uint64 // lookups that found an entry (including in-flight)
 	Misses    uint64 // lookups that started a computation
-	Evictions uint64 // entries dropped by LRU capacity pressure, all shards
+	Evictions uint64 // entries dropped by capacity pressure, all shards
 	Bypasses  uint64 // queries answered around the cache (WithCacheBypass)
 	// Removals counts entries deliberately evicted because their outcome
 	// must not be cached: computations that ended in a cancellation error
 	// (the next caller retries with its own budget) or in a panic (the
 	// key must not stay poisoned).
 	Removals uint64
-	Entries  int // entries currently resident (including in-flight)
-	Shards   int // lock shards (WithCacheShards; always a power of two)
-	Capacity int // effective capacity: per-shard capacity × Shards
+	// WarmFills counts entries installed without a miss: restored from a
+	// snapshot's warmup section at boot, or carried over from the previous
+	// epoch on a Registry swap.
+	WarmFills uint64
+	Entries   int // entries currently resident (including in-flight)
+	Shards    int // lock shards (WithCacheShards; always a power of two)
+	Capacity  int // effective capacity: per-shard capacity × Shards
 	// ShardEntries is the per-shard resident-entry count, in shard order
 	// (sums to Entries). Uniform traffic should fill shards about evenly;
 	// persistent skew means the key space is hashing badly.
 	ShardEntries []int
+	// The cost ledger, in nanoseconds of solver wall time: Added is
+	// recorded at fill, Evicted/Removed leave with their entries, Resident
+	// is what the cache currently holds, and Saved accumulates the
+	// recorded cost of every hit — solver time turned into map lookups.
+	CostAddedNanos    uint64
+	CostEvictedNanos  uint64
+	CostRemovedNanos  uint64
+	CostResidentNanos uint64
+	CostSavedNanos    uint64
 }
 
 // ShardStats returns the answer cache's per-shard hit/miss/eviction
@@ -356,25 +398,175 @@ type CacheStats struct {
 func (s *Service) ShardStats() []cache.ShardStat { return s.cache.ShardStats() }
 
 // Stats returns current cache counters. A hit counts any lookup that found
-// an entry, including one still in flight. Counters are read atomically so
-// a monitoring poll never blocks on (or tears against) in-flight queries;
-// only the per-shard occupancy walk takes each shard lock, briefly and one
-// at a time.
+// an entry, including one still in flight. Counters are read atomically
+// and occupancy comes off the shards' published indexes, so a monitoring
+// poll never takes a lock at all — scrapes cannot perturb the serving
+// path.
 func (s *Service) Stats() CacheStats {
 	occ := s.cache.Occupancy()
 	entries := 0
 	for _, n := range occ {
 		entries += n
 	}
+	costs := s.cache.CostStats()
 	return CacheStats{
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Evictions:    s.cache.Evictions(),
-		Bypasses:     s.bypasses.Load(),
-		Removals:     s.removals.Load(),
-		Entries:      entries,
-		Shards:       s.cache.Shards(),
-		Capacity:     s.cache.Capacity(),
-		ShardEntries: occ,
+		Hits:              s.hits.Load(),
+		Misses:            s.misses.Load(),
+		Evictions:         s.cache.Evictions(),
+		Bypasses:          s.bypasses.Load(),
+		Removals:          s.removals.Load(),
+		WarmFills:         s.cache.WarmFills(),
+		Entries:           entries,
+		Shards:            s.cache.Shards(),
+		Capacity:          s.cache.Capacity(),
+		ShardEntries:      occ,
+		CostAddedNanos:    costs.Added,
+		CostEvictedNanos:  costs.Evicted,
+		CostRemovedNanos:  costs.Removed,
+		CostResidentNanos: costs.Resident(),
+		CostSavedNanos:    costs.Saved,
 	}
+}
+
+// warmKey rebuilds the cache key for a warm install — the same
+// composition connectWith uses, so a restored entry is hit by exactly
+// the query that produced it.
+func warmKey(fp string, terms intset.Set) string { return fp + "#" + terms.Key() }
+
+// warmAdd installs an already-settled answer, if its key is absent.
+func (s *Service) warmAdd(fp string, terms intset.Set, conn Connection, costNanos int64) bool {
+	ent := &cacheEntry{done: settledDone, conn: conn, terms: terms, fp: fp}
+	return s.cache.Add(warmKey(fp, terms), ent, costNanos)
+}
+
+// RestoreWarmup installs persisted answer-cache entries (a snapshot's
+// warmup section, already fingerprint-validated by snapshot.Decode) and
+// returns how many it accepted. Every entry is revalidated against this
+// service's own configuration — terminals through Connector.Validate,
+// the tree through steiner.Tree.Validate — so an entry the current
+// options would reject (say, WithV1TerminalsOnly) is skipped, never
+// installed. Installed entries are answered bit-for-bit as the original
+// solve and count as WarmFills, not Misses.
+func (s *Service) RestoreWarmup(entries []snapshot.WarmEntry) int {
+	installed := 0
+	for _, we := range entries {
+		terms := make([]int, len(we.Terminals))
+		for i, t := range we.Terminals {
+			terms[i] = int(t)
+		}
+		if s.c.Validate(terms) != nil {
+			continue
+		}
+		nodes := make(intset.Set, len(we.Nodes))
+		for i, v := range we.Nodes {
+			nodes[i] = int(v)
+		}
+		var edges []graph.Edge
+		if len(we.Edges) > 0 {
+			edges = make([]graph.Edge, len(we.Edges))
+			for i, e := range we.Edges {
+				edges[i] = graph.Edge{U: int(e[0]), V: int(e[1])}
+			}
+		}
+		tree := steiner.Tree{Nodes: nodes, Edges: edges}
+		if tree.ValidateFrozen(s.c.fb.G(), terms) != nil {
+			continue
+		}
+		conn := Connection{
+			Tree:      tree,
+			Method:    Method(we.Method),
+			Optimal:   we.Optimal,
+			V2Optimal: we.V2Optimal,
+			Rationale: we.Rationale,
+		}
+		if s.warmAdd(we.Fingerprint, intset.Set(terms), conn, we.CostNanos) {
+			installed++
+		}
+	}
+	return installed
+}
+
+// WarmFrom carries settled answers over from prev's cache — the Registry
+// calls it on an epoch swap so a recompile of the same scheme does not
+// restart cold. It is a no-op unless both services serve the identical
+// compiled epoch (scheme fingerprints equal): on a real scheme change
+// every old answer is potentially stale and none may carry. Entries
+// still in flight, error outcomes, and queries the new configuration
+// rejects are skipped. Returns the number of entries installed.
+func (s *Service) WarmFrom(prev *Service) int {
+	if prev == nil || prev == s || !bytes.Equal(s.c.SchemeFingerprint(), prev.c.SchemeFingerprint()) {
+		return 0
+	}
+	installed := 0
+	prev.cache.Range(func(key string, ent *cacheEntry, costNanos int64) bool {
+		select {
+		case <-ent.done:
+		default:
+			return true // in flight: its outcome belongs to the old epoch
+		}
+		if ent.err != nil || s.c.Validate(ent.terms) != nil {
+			return true
+		}
+		// The settled entry is immutable, so the new cache can share it.
+		if s.cache.Add(key, ent, costNanos) {
+			installed++
+		}
+		return true
+	})
+	return installed
+}
+
+// WarmupEntries serializes the cache's settled, persistable answers into
+// snapshot warmup entries: in-flight entries, error outcomes and answers
+// carrying interpretation lists (whose enumeration is not part of the
+// warmup format) are skipped. The result feeds snapshot.EncodeWarm.
+func (s *Service) WarmupEntries() []snapshot.WarmEntry {
+	var out []snapshot.WarmEntry
+	s.cache.Range(func(key string, ent *cacheEntry, costNanos int64) bool {
+		select {
+		case <-ent.done:
+		default:
+			return true
+		}
+		if ent.err != nil || ent.conn.Interps != nil {
+			return true
+		}
+		we := snapshot.WarmEntry{
+			Fingerprint: ent.fp,
+			Terminals:   int32sOf(ent.terms),
+			Method:      uint8(ent.conn.Method),
+			Optimal:     ent.conn.Optimal,
+			V2Optimal:   ent.conn.V2Optimal,
+			CostNanos:   costNanos,
+			Rationale:   ent.conn.Rationale,
+			Nodes:       int32sOf(ent.conn.Tree.Nodes),
+		}
+		if n := len(ent.conn.Tree.Edges); n > 0 {
+			we.Edges = make([][2]int32, n)
+			for i, e := range ent.conn.Tree.Edges {
+				we.Edges[i] = [2]int32{int32(e.U), int32(e.V)}
+			}
+		}
+		out = append(out, we)
+		return true
+	})
+	return out
+}
+
+// int32sOf narrows a sorted id set for serialization.
+func int32sOf(s intset.Set) []int32 {
+	out := make([]int32, len(s))
+	for i, v := range s {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// SaveWarmSnapshot serializes the compiled epoch plus the current
+// settled answer cache as a warm snapshot: a process booting from it
+// (OpenSnapshot, Registry.LoadSnapshot) starts with those answers
+// resident. The warmup section is fingerprint-bound to this exact epoch,
+// so it can never warm a different scheme.
+func (s *Service) SaveWarmSnapshot(w io.Writer) error {
+	return snapshot.WriteWarm(w, s.c.fb, s.c.class, s.WarmupEntries())
 }

@@ -175,19 +175,24 @@ func TestShardedCacheHammerRace(t *testing.T) {
 
 // assertStatsReconcile checks the counter algebra every CacheStats must
 // satisfy after a run of total requests: each request counts exactly once
-// (hit, miss or bypass), every miss inserted exactly one entry, every
-// entry left by capacity eviction or deliberate removal (cancellation and
-// panic outcomes), and the per-shard occupancy is the entry count, within
-// capacity.
+// (hit, miss or bypass), every miss or warm fill inserted exactly one
+// entry, every entry left by capacity eviction or deliberate removal
+// (cancellation and panic outcomes), the per-shard occupancy is the entry
+// count within capacity, and the recompute-cost ledger balances — resident
+// cost is exactly what was added minus what eviction and removal took out.
 func assertStatsReconcile(t *testing.T, st core.CacheStats, total uint64) {
 	t.Helper()
 	if st.Hits+st.Misses+st.Bypasses != total {
 		t.Errorf("lookup accounting off: hits %d + misses %d + bypasses %d != %d requests (%+v)",
 			st.Hits, st.Misses, st.Bypasses, total, st)
 	}
-	if uint64(st.Entries) != st.Misses-st.Evictions-st.Removals {
-		t.Errorf("residency accounting off: entries %d != misses %d - evictions %d - removals %d (%+v)",
-			st.Entries, st.Misses, st.Evictions, st.Removals, st)
+	if uint64(st.Entries) != st.Misses+st.WarmFills-st.Evictions-st.Removals {
+		t.Errorf("residency accounting off: entries %d != misses %d + warm fills %d - evictions %d - removals %d (%+v)",
+			st.Entries, st.Misses, st.WarmFills, st.Evictions, st.Removals, st)
+	}
+	if st.CostResidentNanos != st.CostAddedNanos-st.CostEvictedNanos-st.CostRemovedNanos {
+		t.Errorf("cost ledger off: resident %d != added %d - evicted %d - removed %d (%+v)",
+			st.CostResidentNanos, st.CostAddedNanos, st.CostEvictedNanos, st.CostRemovedNanos, st)
 	}
 	if st.Entries > st.Capacity {
 		t.Errorf("over capacity: %d > %d (%+v)", st.Entries, st.Capacity, st)

@@ -139,6 +139,88 @@ func TestSnapshotDownloadUploadCycle(t *testing.T) {
 	}
 }
 
+// TestWarmSnapshotUploadBootsHot: downloading a snapshot with ?warmup=1
+// captures the live cache, and a scheme revived from it answers its first
+// query out of the restored cache — a hit, bit-for-bit the original
+// answer, with the restore visible as warm_fills in /v1/stats.
+func TestWarmSnapshotUploadBootsHot(t *testing.T) {
+	ts, _ := adminServer(t)
+
+	// Populate the live cache, then capture it.
+	queries := [][]string{{"A", "C"}, {"B", "3"}, {"1", "2", "3"}}
+	answers := make([]string, len(queries))
+	for i, labels := range queries {
+		req, _ := json.Marshal(ConnectRequest{Scheme: "library", Labels: labels})
+		resp, body := adminDo(t, http.MethodPost, ts.URL+"/v1/connect", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("connect %v: %d %s", labels, resp.StatusCode, body)
+		}
+		var cr ConnectResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(cr.Answer)
+		answers[i] = string(b)
+	}
+	resp, snapBytes := adminDo(t, http.MethodGet, ts.URL+"/v1/schemes/library/snapshot?warmup=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm download: status %d: %s", resp.StatusCode, snapBytes)
+	}
+	snap, err := snapshot.Decode(snapBytes)
+	if err != nil {
+		t.Fatalf("warm snapshot does not decode: %v", err)
+	}
+	if len(snap.Warmup) != len(queries) {
+		t.Fatalf("warm snapshot carries %d entries, want %d", len(snap.Warmup), len(queries))
+	}
+
+	resp, body := adminDo(t, http.MethodPut, ts.URL+"/v1/schemes/warmed", snapBytes)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm upload: status %d: %s", resp.StatusCode, body)
+	}
+
+	stats := func() SchemeStats {
+		resp, body := adminDo(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats: %d %s", resp.StatusCode, body)
+		}
+		var sr StatsResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.Schemes["warmed"]
+	}
+	if st := stats(); st.WarmFills != uint64(len(queries)) || st.Entries != len(queries) {
+		t.Fatalf("before any query: stats = %+v, want %d warm fills resident", st, len(queries))
+	}
+
+	// Every original query answers from the restored cache, bit-for-bit.
+	for i, labels := range queries {
+		req, _ := json.Marshal(ConnectRequest{Scheme: "warmed", Labels: labels})
+		resp, body := adminDo(t, http.MethodPost, ts.URL+"/v1/connect", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmed connect %v: %d %s", labels, resp.StatusCode, body)
+		}
+		var cr ConnectResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if b, _ := json.Marshal(cr.Answer); string(b) != answers[i] {
+			t.Fatalf("warmed answer diverges for %v:\n  live: %s\n  warm: %s", labels, answers[i], b)
+		}
+	}
+	st := stats()
+	if st.Misses != 0 || st.Hits != uint64(len(queries)) {
+		t.Fatalf("after replay: stats = %+v, want %d hits / 0 misses", st, len(queries))
+	}
+	if got, want := uint64(st.Entries), st.Misses+st.WarmFills-st.Evictions-st.Removals; got != want {
+		t.Fatalf("warm algebra: entries = %d, misses+warm_fills-evictions-removals = %d", got, want)
+	}
+	if st.CostResident != st.CostAdded-st.CostEvicted-st.CostRemoved {
+		t.Fatalf("warm cost ledger out of balance: %+v", st)
+	}
+}
+
 // TestUploadTextScheme compiles a textual scheme body live.
 func TestUploadTextScheme(t *testing.T) {
 	ts, reg := adminServer(t)

@@ -493,10 +493,16 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evictions:    st.Evictions,
 			Bypasses:     st.Bypasses,
 			Removals:     st.Removals,
+			WarmFills:    st.WarmFills,
 			Entries:      st.Entries,
 			Shards:       st.Shards,
 			Capacity:     st.Capacity,
 			ShardEntries: st.ShardEntries,
+			CostAdded:    st.CostAddedNanos,
+			CostEvicted:  st.CostEvictedNanos,
+			CostRemoved:  st.CostRemovedNanos,
+			CostResident: st.CostResidentNanos,
+			CostSaved:    st.CostSavedNanos,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -505,7 +511,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleSnapshotDownload streams the named scheme's compiled epoch in the
 // internal/snapshot binary format: what a client PUTs back (here or to
 // another server) boots with zero recompilation. The epoch header
-// attributes the bytes to the compile that produced them.
+// attributes the bytes to the compile that produced them. With
+// ?warmup=1 the file also carries the scheme's current settled answer
+// cache as the optional warmup section, so the process booting from it
+// starts with those answers resident (first queries are cache hits).
 func (h *Handler) handleSnapshotDownload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	svc, epoch, ok := h.reg.Lookup(name)
@@ -513,8 +522,12 @@ func (h *Handler) handleSnapshotDownload(w http.ResponseWriter, r *http.Request)
 		writeQueryError(w, fmt.Errorf("%w: %q", core.ErrUnknownScheme, name))
 		return
 	}
+	save := svc.SaveSnapshot
+	if r.URL.Query().Get("warmup") == "1" {
+		save = svc.SaveWarmSnapshot
+	}
 	var buf bytes.Buffer
-	if err := svc.SaveSnapshot(&buf); err != nil {
+	if err := save(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}

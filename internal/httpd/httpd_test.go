@@ -366,6 +366,24 @@ func TestSchemesAndStats(t *testing.T) {
 	if sum != st.Entries {
 		t.Fatalf("shard_entries sums to %d, entries = %d", sum, st.Entries)
 	}
+	// Counter reconciliation on the wire: entry count and the recompute-
+	// cost ledger both balance. A live compile has no warm fills, the one
+	// miss banked a nonzero solve cost, and the one hit saved it again.
+	if got, want := uint64(st.Entries), st.Misses+st.WarmFills-st.Evictions-st.Removals; got != want {
+		t.Fatalf("entries = %d, misses+warm_fills-evictions-removals = %d", got, want)
+	}
+	if st.WarmFills != 0 {
+		t.Fatalf("warm_fills = %d on a live-compiled scheme, want 0", st.WarmFills)
+	}
+	if st.CostAdded == 0 {
+		t.Fatalf("cost_added_nanos = 0 after a miss, want > 0")
+	}
+	if st.CostResident != st.CostAdded-st.CostEvicted-st.CostRemoved {
+		t.Fatalf("cost ledger out of balance: %+v", st)
+	}
+	if st.CostSaved == 0 {
+		t.Fatalf("cost_saved_nanos = 0 after a hit, want > 0")
+	}
 }
 
 func TestMethodNotAllowed(t *testing.T) {

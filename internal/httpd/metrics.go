@@ -29,6 +29,9 @@ const (
 	MetricCacheEvictions  = "chordal_cache_evictions_total"
 	MetricCacheBypasses   = "chordal_cache_bypasses_total"
 	MetricCacheRemovals   = "chordal_cache_removals_total"
+	MetricCacheWarmFills  = "chordal_cache_warm_fills_total"
+	MetricCacheCostSaved  = "chordal_cache_cost_saved_seconds_total"
+	MetricCacheCostRes    = "chordal_cache_cost_resident_seconds"
 	MetricCacheEntries    = "chordal_cache_entries"
 	MetricCacheCapacity   = "chordal_cache_capacity"
 	MetricShardHits       = "chordal_cache_shard_hits_total"
@@ -98,6 +101,12 @@ func (h *Handler) initMetrics() {
 		func(st core.CacheStats) float64 { return float64(st.Bypasses) })
 	cacheStat(MetricCacheRemovals, "Entries deliberately evicted (cancellation outcomes, panics), per scheme.",
 		func(st core.CacheStats) float64 { return float64(st.Removals) })
+	cacheStat(MetricCacheWarmFills, "Entries installed without a miss (snapshot warmup restore, epoch-swap carry-over), per scheme.",
+		func(st core.CacheStats) float64 { return float64(st.WarmFills) })
+	cacheStat(MetricCacheCostSaved, "Recorded recompute cost of every cache hit — solver seconds the cache turned into lookups, per scheme.",
+		func(st core.CacheStats) float64 { return float64(st.CostSavedNanos) / 1e9 })
+	cacheGauge(MetricCacheCostRes, "Recompute cost banked in resident entries (cost-aware eviction's ledger), per scheme.",
+		func(st core.CacheStats) float64 { return float64(st.CostResidentNanos) / 1e9 })
 	cacheGauge(MetricCacheEntries, "Answer-cache entries currently resident, per scheme.",
 		func(st core.CacheStats) float64 { return float64(st.Entries) })
 	cacheGauge(MetricCacheCapacity, "Effective answer-cache capacity, per scheme.",

@@ -168,14 +168,20 @@ type SchemesResponse struct {
 }
 
 // SchemeStats is one scheme's cache counters in GET /v1/stats. Counter
-// totals (hits/misses/evictions/bypasses/removals) aggregate atomically
-// across the cache's lock shards and satisfy the reconciliation algebra
-// documented on core.CacheStats (hits+misses+bypasses == requests;
-// entries == misses − evictions − removals); shard_entries is the
-// per-shard resident-entry occupancy, in shard order, summing to entries.
-// capacity is the effective answer-cache capacity — the configured size
-// rounded up to a multiple of the shard count (minimum one entry per
-// shard).
+// totals (hits/misses/evictions/bypasses/removals/warm_fills) aggregate
+// atomically across the cache's lock shards and satisfy the
+// reconciliation algebra documented on core.CacheStats
+// (hits+misses+bypasses == requests; entries == misses + warm_fills −
+// evictions − removals); shard_entries is the per-shard resident-entry
+// occupancy, in shard order, summing to entries. capacity is the
+// effective answer-cache capacity — the configured size rounded up to a
+// multiple of the shard count (minimum one entry per shard). warm_fills
+// counts entries installed without a miss: restored from a snapshot's
+// warmup section at boot or carried across a scheme epoch swap. The
+// cost_*_nanos fields are the recompute-cost ledger in nanoseconds of
+// solver wall time, satisfying cost_resident == cost_added −
+// cost_evicted − cost_removed; cost_saved accumulates the recorded cost
+// of every hit.
 type SchemeStats struct {
 	Epoch        uint64 `json:"epoch"`
 	Hits         uint64 `json:"hits"`
@@ -183,10 +189,16 @@ type SchemeStats struct {
 	Evictions    uint64 `json:"evictions"`
 	Bypasses     uint64 `json:"bypasses"`
 	Removals     uint64 `json:"removals"`
+	WarmFills    uint64 `json:"warm_fills"`
 	Entries      int    `json:"entries"`
 	Shards       int    `json:"shards"`
 	Capacity     int    `json:"capacity"`
 	ShardEntries []int  `json:"shard_entries"`
+	CostAdded    uint64 `json:"cost_added_nanos"`
+	CostEvicted  uint64 `json:"cost_evicted_nanos"`
+	CostRemoved  uint64 `json:"cost_removed_nanos"`
+	CostResident uint64 `json:"cost_resident_nanos"`
+	CostSaved    uint64 `json:"cost_saved_nanos"`
 }
 
 // StatsResponse is the body of GET /v1/stats, keyed by scheme name.

@@ -28,6 +28,11 @@ type Snapshot struct {
 	// under which an mmap-ed catalog file serves queries directly from
 	// the page cache. Only when false may the buffer be reused or freed.
 	ZeroCopy bool
+	// Warmup holds the persisted answer-cache entries of the optional
+	// warmup section (nil when absent), already validated against this
+	// epoch's fingerprint — core.OpenSnapshot installs them so the boot
+	// starts warm. Warmup never aliases the input buffer.
+	Warmup []WarmEntry
 }
 
 // Decode parses and validates a version-1 snapshot. On little-endian hosts
@@ -191,7 +196,18 @@ func Decode(data []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	return &Snapshot{Frozen: fb, Class: class, Version: version, ZeroCopy: aliased}, nil
+	// The optional warmup section validates last, against the fully
+	// restored epoch: its fingerprint must match this exact scheme, and a
+	// corrupt or stale section fails the whole decode — cached answers
+	// from some other epoch must never be installed silently.
+	var warm []WarmEntry
+	if warmSec, ok := sections[secWarmup]; ok {
+		warm, err = decodeWarmup(warmSec, n, fb, class)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Snapshot{Frozen: fb, Class: class, Version: version, ZeroCopy: aliased, Warmup: warm}, nil
 }
 
 // decodeLabels parses the string table, copying every label out of the

@@ -13,6 +13,15 @@ import (
 // deterministic: encoding the same epoch always yields the same bytes
 // (asserted by the golden-fixture test), so snapshots diff and cache well.
 func Encode(fb *bipartite.Frozen, class chordality.Class) []byte {
+	return encodeWith(fb, class, nil)
+}
+
+// encodeWith is Encode plus an optional pre-rendered warmup section
+// payload (nil for the plain scheme-only file). Factored out so
+// EncodeWarm shares the exact layout code — with warm == nil the output
+// is byte-for-byte the historical Encode format, which the golden
+// fixture pins.
+func encodeWith(fb *bipartite.Frozen, class chordality.Class, warm []byte) []byte {
 	g := fb.G()
 	offsets, neighbors := g.CSR()
 	matrix, stride := g.Matrix()
@@ -46,6 +55,12 @@ func Encode(fb *bipartite.Frozen, class chordality.Class) []byte {
 			id   uint32
 			data []byte
 		}{secMatrix, uint64Bytes(matrix)})
+	}
+	if warm != nil {
+		sections = append(sections, struct {
+			id   uint32
+			data []byte
+		}{secWarmup, warm})
 	}
 
 	// Lay out: header, table, then each payload on an 8-byte boundary.

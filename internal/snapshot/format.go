@@ -18,7 +18,9 @@ const (
 	metaSize         = 24
 )
 
-// Section ids of format version 1.
+// Section ids of format version 1. secWarmup is optional and additive:
+// readers that predate it skip unknown ids, so a warm snapshot still
+// boots (cold) on an older build without a version bump.
 const (
 	secMeta      = 1
 	secOffsets   = 2
@@ -27,6 +29,7 @@ const (
 	secSides     = 5
 	secLabels    = 6
 	secClass     = 7
+	secWarmup    = 8
 )
 
 // metaFlagMatrix marks the optional dense-bitset section as present.
@@ -45,6 +48,10 @@ var (
 	// ErrCorrupt: the checksum holds but the structure does not (bad
 	// section bounds, broken CSR invariants, invalid sides, …).
 	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+	// ErrWarmupStale: the warmup section is structurally sound but was
+	// saved against a different compiled epoch (its fingerprint does not
+	// match the scheme in this file) — its answers must not be installed.
+	ErrWarmupStale = errors.New("snapshot: warmup section stale for this epoch")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

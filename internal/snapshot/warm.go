@@ -1,0 +1,333 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+)
+
+// The warmup section (secWarmup) persists provably-still-valid answer-cache
+// entries alongside the compiled epoch, so a process booted from the
+// snapshot starts warm instead of re-running solvers for answers the
+// writing process already paid for. Layout, all little-endian:
+//
+//	[32]byte  epoch fingerprint: sha256 of the canonical scheme-only
+//	          encoding (Encode output). A warmup section is only valid
+//	          against the exact epoch it was saved with — Decode rejects a
+//	          mismatch with ErrWarmupStale rather than installing answers
+//	          from some other scheme.
+//	u32       entry count
+//	entries, each:
+//	  u16+bytes  query-option fingerprint (the cache-key prefix)
+//	  u8         method
+//	  u8         flags (bit0 Optimal, bit1 V2Optimal)
+//	  u64        recompute cost in nanoseconds
+//	  u32+bytes  rationale
+//	  u32 + n×u32        terminals, strictly ascending
+//	  u32 + n×u32        tree nodes, strictly ascending
+//	  u32 + n×(u32,u32)  tree edges, order preserved verbatim
+//
+// The section is canonical: entries are sorted by (fingerprint,
+// terminals), node and terminal lists are strictly ascending, and edge
+// order is whatever the solver produced (preserved so a restored answer
+// is bit-for-bit the fresh solve). Decode enforces all of it, which makes
+// an accepted section a fixed point of re-encoding — the FuzzWarmupDecode
+// property.
+
+// WarmEntry is one persisted cache answer: the query (option fingerprint
+// + canonical terminals), the answer (method, guarantee flags, rationale,
+// tree), and the recompute cost that seeds cost-aware eviction on
+// restore. Semantic validation (the tree really spans the terminals on
+// this scheme) happens at restore time in core; Decode checks structure,
+// ranges and canonical form.
+type WarmEntry struct {
+	Fingerprint string
+	Terminals   []int32
+	Method      uint8
+	Optimal     bool
+	V2Optimal   bool
+	CostNanos   int64
+	Rationale   string
+	Nodes       []int32
+	Edges       [][2]int32
+}
+
+// EpochFingerprint identifies a compiled epoch for warmup validity: the
+// sha256 of its canonical encoding. Two Connectors share a fingerprint
+// iff Encode produces the same bytes — same graph, labels, sides and
+// classification — which is exactly the condition under which a cached
+// answer is still correct.
+func EpochFingerprint(fb *bipartite.Frozen, class chordality.Class) []byte {
+	sum := sha256.Sum256(Encode(fb, class))
+	return sum[:]
+}
+
+// EncodeWarm serializes the epoch like Encode, plus the warmup section
+// when entries is non-empty. With no entries the output is byte-identical
+// to Encode — the section is strictly optional, and version-1 readers
+// that predate it skip unknown section ids. Entries are sorted into
+// canonical order; the caller's slice is not modified.
+func EncodeWarm(fb *bipartite.Frozen, class chordality.Class, entries []WarmEntry) []byte {
+	if len(entries) == 0 {
+		return Encode(fb, class)
+	}
+	sorted := make([]WarmEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return compareWarm(sorted[i], sorted[j]) < 0 })
+	return encodeWith(fb, class, warmBytes(EpochFingerprint(fb, class), sorted))
+}
+
+// WriteWarm serializes the epoch plus warmup to w.
+func WriteWarm(w io.Writer, fb *bipartite.Frozen, class chordality.Class, entries []WarmEntry) error {
+	_, err := w.Write(EncodeWarm(fb, class, entries))
+	return err
+}
+
+// compareWarm orders entries by (fingerprint, terminals): the canonical
+// section order, enforced strictly increasing by the decoder. Two
+// distinct cache entries can never compare equal — the pair is the cache
+// key.
+func compareWarm(a, b WarmEntry) int {
+	if c := bytes.Compare([]byte(a.Fingerprint), []byte(b.Fingerprint)); c != 0 {
+		return c
+	}
+	for i := 0; i < len(a.Terminals) && i < len(b.Terminals); i++ {
+		if a.Terminals[i] != b.Terminals[i] {
+			if a.Terminals[i] < b.Terminals[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a.Terminals) - len(b.Terminals)
+}
+
+const (
+	warmHeaderSize   = 32 + 4 // fingerprint + count
+	warmFlagOptimal  = 1 << 0
+	warmFlagV2Opt    = 1 << 1
+	warmMinEntrySize = 2 + 1 + 1 + 8 + 4 + 4 + 4 + 4
+)
+
+// warmBytes renders the section payload.
+func warmBytes(fingerprint []byte, entries []WarmEntry) []byte {
+	size := warmHeaderSize
+	for _, e := range entries {
+		size += warmMinEntrySize + len(e.Fingerprint) + len(e.Rationale) +
+			4*len(e.Terminals) + 4*len(e.Nodes) + 8*len(e.Edges)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, fingerprint...)
+	out = le.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = le.AppendUint16(out, uint16(len(e.Fingerprint)))
+		out = append(out, e.Fingerprint...)
+		out = append(out, e.Method)
+		var flags byte
+		if e.Optimal {
+			flags |= warmFlagOptimal
+		}
+		if e.V2Optimal {
+			flags |= warmFlagV2Opt
+		}
+		out = append(out, flags)
+		out = le.AppendUint64(out, uint64(e.CostNanos))
+		out = le.AppendUint32(out, uint32(len(e.Rationale)))
+		out = append(out, e.Rationale...)
+		out = le.AppendUint32(out, uint32(len(e.Terminals)))
+		for _, t := range e.Terminals {
+			out = le.AppendUint32(out, uint32(t))
+		}
+		out = le.AppendUint32(out, uint32(len(e.Nodes)))
+		for _, v := range e.Nodes {
+			out = le.AppendUint32(out, uint32(v))
+		}
+		out = le.AppendUint32(out, uint32(len(e.Edges)))
+		for _, ed := range e.Edges {
+			out = le.AppendUint32(out, uint32(ed[0]))
+			out = le.AppendUint32(out, uint32(ed[1]))
+		}
+	}
+	return out
+}
+
+// warmCursor is a bounds-checked little-endian reader over the section.
+type warmCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *warmCursor) take(n int) ([]byte, bool) {
+	if n < 0 || n > len(c.b)-c.off {
+		return nil, false
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s, true
+}
+
+func (c *warmCursor) u8() (byte, bool) {
+	s, ok := c.take(1)
+	if !ok {
+		return 0, false
+	}
+	return s[0], true
+}
+
+func (c *warmCursor) u16() (uint16, bool) {
+	s, ok := c.take(2)
+	if !ok {
+		return 0, false
+	}
+	return le.Uint16(s), true
+}
+
+func (c *warmCursor) u32() (uint32, bool) {
+	s, ok := c.take(4)
+	if !ok {
+		return 0, false
+	}
+	return le.Uint32(s), true
+}
+
+func (c *warmCursor) u64() (uint64, bool) {
+	s, ok := c.take(8)
+	if !ok {
+		return 0, false
+	}
+	return le.Uint64(s), true
+}
+
+// decodeWarmup parses and validates the warmup section against the
+// decoded epoch. n is the scheme's node count; fb/class are the already
+// restored epoch, whose canonical fingerprint gates validity. Returns
+// ErrWarmupStale for a fingerprint mismatch (a structurally fine section
+// saved against some other epoch) and ErrCorrupt for everything else.
+func decodeWarmup(sec []byte, n int, fb *bipartite.Frozen, class chordality.Class) ([]WarmEntry, error) {
+	if len(sec) < warmHeaderSize {
+		return nil, fmt.Errorf("%w: warmup section is %d bytes, want at least %d", ErrCorrupt, len(sec), warmHeaderSize)
+	}
+	if want := EpochFingerprint(fb, class); !bytes.Equal(sec[:32], want) {
+		return nil, fmt.Errorf("%w: warmup fingerprint %x does not match epoch %x", ErrWarmupStale, sec[:32], want)
+	}
+	count := int(le.Uint32(sec[32:36]))
+	if count > (len(sec)-warmHeaderSize)/warmMinEntrySize {
+		return nil, fmt.Errorf("%w: warmup section declares %d entries, section too short", ErrCorrupt, count)
+	}
+	c := &warmCursor{b: sec, off: warmHeaderSize}
+	entries := make([]WarmEntry, 0, count)
+	corrupt := func(i int, msg string) error {
+		return fmt.Errorf("%w: warmup entry %d: %s", ErrCorrupt, i, msg)
+	}
+	for i := 0; i < count; i++ {
+		var e WarmEntry
+		fpLen, ok := c.u16()
+		if !ok {
+			return nil, corrupt(i, "truncated fingerprint length")
+		}
+		fp, ok := c.take(int(fpLen))
+		if !ok {
+			return nil, corrupt(i, "truncated fingerprint")
+		}
+		e.Fingerprint = string(fp)
+		method, ok := c.u8()
+		if !ok || method > 3 {
+			return nil, corrupt(i, "bad method")
+		}
+		e.Method = method
+		flags, ok := c.u8()
+		if !ok || flags > warmFlagOptimal|warmFlagV2Opt {
+			return nil, corrupt(i, "bad flags")
+		}
+		e.Optimal = flags&warmFlagOptimal != 0
+		e.V2Optimal = flags&warmFlagV2Opt != 0
+		cost, ok := c.u64()
+		if !ok || cost > 1<<62 {
+			return nil, corrupt(i, "bad cost")
+		}
+		e.CostNanos = int64(cost)
+		rLen, ok := c.u32()
+		if !ok {
+			return nil, corrupt(i, "truncated rationale length")
+		}
+		rat, ok := c.take(int(rLen))
+		if !ok {
+			return nil, corrupt(i, "truncated rationale")
+		}
+		e.Rationale = string(rat)
+		var err error
+		if e.Terminals, err = c.ascending(n); err != nil {
+			return nil, corrupt(i, "terminals: "+err.Error())
+		}
+		if len(e.Terminals) == 0 {
+			return nil, corrupt(i, "empty terminal set")
+		}
+		if e.Nodes, err = c.ascending(n); err != nil {
+			return nil, corrupt(i, "nodes: "+err.Error())
+		}
+		if len(e.Nodes) == 0 {
+			return nil, corrupt(i, "empty node set")
+		}
+		nEdges, ok := c.u32()
+		if !ok || int(nEdges) != len(e.Nodes)-1 {
+			return nil, corrupt(i, "edge count does not form a tree over the nodes")
+		}
+		if nEdges > 0 {
+			e.Edges = make([][2]int32, nEdges)
+			for j := range e.Edges {
+				u, okU := c.u32()
+				v, okV := c.u32()
+				if !okU || !okV || u >= uint32(n) || v >= uint32(n) || u == v {
+					return nil, corrupt(i, "bad edge")
+				}
+				e.Edges[j] = [2]int32{int32(u), int32(v)}
+			}
+		}
+		if len(entries) > 0 && compareWarm(entries[len(entries)-1], e) >= 0 {
+			return nil, corrupt(i, "entries not in strict canonical order")
+		}
+		entries = append(entries, e)
+	}
+	if c.off != len(sec) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last warmup entry", ErrCorrupt, len(sec)-c.off)
+	}
+	return entries, nil
+}
+
+// ascending reads a u32-counted list of u32 ids, requiring each in [0, n)
+// and the list strictly increasing — the canonical form for terminal and
+// node sets.
+func (c *warmCursor) ascending(n int) ([]int32, error) {
+	count, ok := c.u32()
+	if !ok {
+		return nil, fmt.Errorf("truncated count")
+	}
+	if int(count) > (len(c.b)-c.off)/4 {
+		return nil, fmt.Errorf("count %d overruns the section", count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([]int32, count)
+	prev := int64(-1)
+	for i := range out {
+		v, ok := c.u32()
+		if !ok {
+			return nil, fmt.Errorf("truncated list")
+		}
+		if uint64(v) >= uint64(n) {
+			return nil, fmt.Errorf("id %d out of range [0,%d)", v, n)
+		}
+		if int64(v) <= prev {
+			return nil, fmt.Errorf("not strictly ascending")
+		}
+		prev = int64(v)
+		out[i] = int32(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/chordality"
+)
+
+// warmFixture returns the compiled library epoch and two valid warm
+// entries — deliberately out of canonical order so every test exercises
+// the encoder's sort. Node ids follow insertion order in libraryScheme:
+// A,B,C = 0,1,2 and 1,2,3 = 3,4,5.
+func warmFixture() (fb *bipartite.Frozen, class chordality.Class, entries []WarmEntry) {
+	f, c := compile(libraryScheme())
+	return f, c, []WarmEntry{
+		{
+			Fingerprint: "m1",
+			Terminals:   []int32{1, 4},
+			Method:      2,
+			Optimal:     true,
+			CostNanos:   7_500_000,
+			Rationale:   "exact over chordal core",
+			Nodes:       []int32{1, 4},
+			Edges:       [][2]int32{{1, 4}},
+		},
+		{
+			Terminals: []int32{0, 2, 3},
+			Method:    1,
+			V2Optimal: true,
+			CostNanos: 2_000,
+			Nodes:     []int32{0, 2, 3},
+			Edges:     [][2]int32{{0, 3}, {2, 3}},
+		},
+	}
+}
+
+// TestWarmRoundTrip: EncodeWarm → Decode restores the entries in canonical
+// order, bit-for-bit, and re-encoding the decoded snapshot reproduces the
+// exact bytes — the fixed-point property FuzzWarmupDecode generalizes.
+func TestWarmRoundTrip(t *testing.T) {
+	fb, class, entries := warmFixture()
+	data := EncodeWarm(fb, class, entries)
+	snap, err := Decode(data)
+	if err != nil {
+		t.Fatalf("warm snapshot does not decode: %v", err)
+	}
+	// Canonical order sorts the ""-fingerprint entry first.
+	want := []WarmEntry{entries[1], entries[0]}
+	if !reflect.DeepEqual(snap.Warmup, want) {
+		t.Fatalf("warmup round trip drifted:\n got %+v\nwant %+v", snap.Warmup, want)
+	}
+	if re := EncodeWarm(snap.Frozen, snap.Class, snap.Warmup); !bytes.Equal(re, data) {
+		t.Fatalf("warm encoding is not a fixed point")
+	}
+	// The scheme itself is unaffected by the extra section.
+	assertEqualEpoch(t, fb, class, snap)
+}
+
+// TestWarmEmptyIsPlainEncode: no entries means no section — byte-identical
+// to the scheme-only encoding, so warm saving never perturbs the golden
+// snapshot format.
+func TestWarmEmptyIsPlainEncode(t *testing.T) {
+	fb, class, _ := warmFixture()
+	if !bytes.Equal(EncodeWarm(fb, class, nil), Encode(fb, class)) {
+		t.Fatalf("EncodeWarm(nil) diverges from Encode")
+	}
+	snap, err := Decode(Encode(fb, class))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Warmup != nil {
+		t.Fatalf("plain snapshot decoded with %d warmup entries", len(snap.Warmup))
+	}
+}
+
+// TestWarmStaleFingerprint: a structurally perfect section saved against a
+// different epoch is rejected with ErrWarmupStale — typed, so core can
+// boot the scheme cold instead of failing, and never installed.
+func TestWarmStaleFingerprint(t *testing.T) {
+	fb, class, entries := warmFixture()
+	wrongFP := EpochFingerprint(fb, class)
+	wrongFP[0] ^= 0xFF
+	stale := encodeWith(fb, class, warmBytes(wrongFP, []WarmEntry{entries[1], entries[0]}))
+	_, err := Decode(stale)
+	if !errors.Is(err, ErrWarmupStale) {
+		t.Fatalf("stale fingerprint: got %v, want ErrWarmupStale", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("stale must be distinguishable from corrupt, got %v", err)
+	}
+}
+
+// TestWarmCorruptRejected walks the decoder's validation: every structural
+// lie is ErrCorrupt, never a partial install.
+func TestWarmCorruptRejected(t *testing.T) {
+	fb, class, entries := warmFixture()
+	fp := EpochFingerprint(fb, class)
+	wrap := func(section []byte) []byte { return encodeWith(fb, class, section) }
+	one := func(e WarmEntry) []byte { return warmBytes(fp, []WarmEntry{e}) }
+	base := entries[0]
+
+	mutate := func(f func(*WarmEntry)) []byte {
+		e := base
+		f(&e)
+		return one(e)
+	}
+	cases := map[string][]byte{
+		"truncated-header": warmBytes(fp, nil)[:34],
+		"count-overruns": func() []byte {
+			b := warmBytes(fp, entries[:1])
+			le.PutUint32(b[32:36], 1<<30)
+			return b
+		}(),
+		"bad-method":        mutate(func(e *WarmEntry) { e.Method = 9 }),
+		"empty-terms":       mutate(func(e *WarmEntry) { e.Terminals = nil }),
+		"terms-range":       mutate(func(e *WarmEntry) { e.Terminals = []int32{1, 99} }),
+		"terms-order":       mutate(func(e *WarmEntry) { e.Terminals = []int32{4, 1} }),
+		"not-a-tree":        mutate(func(e *WarmEntry) { e.Edges = nil }),
+		"self-loop-edge":    mutate(func(e *WarmEntry) { e.Edges = [][2]int32{{4, 4}} }),
+		"edge-range":        mutate(func(e *WarmEntry) { e.Edges = [][2]int32{{1, 77}} }),
+		"unsorted-entries":  warmBytes(fp, []WarmEntry{entries[0], entries[1]}),
+		"duplicate-entries": warmBytes(fp, []WarmEntry{entries[1], entries[1]}),
+		"trailing-bytes":    append(warmBytes(fp, entries[:1]), 0),
+	}
+	for name, section := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Decode(wrap(section))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// FuzzWarmupDecode hammers warm snapshots the way FuzzDecode hammers plain
+// ones: Decode must never panic, rejected inputs must not yield a
+// snapshot, and accepted warmup sections must be a fixed point of
+// canonical re-encoding — EncodeWarm over the decoded entries reproduces
+// the input bytes exactly, entry for entry.
+func FuzzWarmupDecode(f *testing.F) {
+	fb, class, entries := warmFixture()
+	valid := EncodeWarm(fb, class, entries)
+	f.Add(valid)
+	f.Add(Encode(fb, class))
+	f.Add(EncodeWarm(fb, class, entries[:1]))
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1, len(valid) - 30} {
+		f.Add(valid[:cut])
+	}
+	// Seeds with a valid outer checksum but a lying warmup section, so the
+	// fuzzer starts inside the section decoder rather than bouncing off
+	// the file checksum: a stale fingerprint, an inflated entry count, and
+	// entries out of canonical order.
+	sorted := []WarmEntry{entries[1], entries[0]}
+	staleFP := EpochFingerprint(fb, class)
+	staleFP[7] ^= 0x01
+	f.Add(encodeWith(fb, class, warmBytes(staleFP, sorted)))
+	counted := warmBytes(EpochFingerprint(fb, class), sorted)
+	le.PutUint32(counted[32:36], 7)
+	f.Add(encodeWith(fb, class, counted))
+	f.Add(encodeWith(fb, class, warmBytes(EpochFingerprint(fb, class), []WarmEntry{entries[0], entries[1]})))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatalf("Decode returned both a snapshot and %v", err)
+			}
+			return
+		}
+		re := EncodeWarm(snap.Frozen, snap.Class, snap.Warmup)
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of an accepted warm snapshot does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(again.Warmup, snap.Warmup) {
+			t.Fatalf("warmup entries drifted across re-encode:\n got %+v\nwant %+v", again.Warmup, snap.Warmup)
+		}
+		if len(snap.Warmup) > 0 && !bytes.Equal(EncodeWarm(again.Frozen, again.Class, again.Warmup), re) {
+			t.Fatalf("canonical warm form is not a fixed point")
+		}
+	})
+}

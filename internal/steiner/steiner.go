@@ -37,13 +37,27 @@ type Tree struct {
 // nodes induce a connected subgraph, edges form a spanning tree of exactly
 // the node set, and every terminal is included.
 func (t Tree) Validate(g *graph.Graph, terminals []int) error {
-	alive := make([]bool, g.N())
+	return t.validate(g.N(), g.Label, g.HasEdge, terminals)
+}
+
+// ValidateFrozen is Validate against the compiled CSR view — same checks,
+// no thaw. Used by warm-restore paths that revive cached answers from a
+// snapshot and must verify them against the frozen scheme they booted
+// with, without materializing the mutable graph.
+func (t Tree) ValidateFrozen(f *graph.Frozen, terminals []int) error {
+	return t.validate(f.N(), f.Label, f.HasEdge, terminals)
+}
+
+// validate is the shared body of Validate/ValidateFrozen over the
+// minimal graph surface the checks need.
+func (t Tree) validate(n int, label func(int) string, hasEdge func(int, int) bool, terminals []int) error {
+	alive := make([]bool, n)
 	for _, v := range t.Nodes {
 		alive[v] = true
 	}
 	for _, p := range terminals {
 		if !alive[p] {
-			return fmt.Errorf("steiner: terminal %s missing from tree", g.Label(p))
+			return fmt.Errorf("steiner: terminal %s missing from tree", label(p))
 		}
 	}
 	if len(t.Edges) != t.Nodes.Len()-1 {
@@ -54,7 +68,7 @@ func (t Tree) Validate(g *graph.Graph, terminals []int) error {
 		if !alive[e.U] || !alive[e.V] {
 			return fmt.Errorf("steiner: edge %v leaves the node set", e)
 		}
-		if !g.HasEdge(e.U, e.V) {
+		if !hasEdge(e.U, e.V) {
 			return fmt.Errorf("steiner: edge %v not in the graph", e)
 		}
 		if seen[e] {

@@ -91,7 +91,7 @@ func TestSpansAndPhases(t *testing.T) {
 	sp.AnnotateInt("shard", 2)
 	time.Sleep(2 * time.Millisecond)
 	sp.End()
-	sp.End() // idempotent
+	sp.End()                      // idempotent
 	open := tr.StartSpan("solve") // never ended: closed at the root's end
 	_ = open
 

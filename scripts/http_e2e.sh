@@ -68,6 +68,10 @@ req() { # req NAME METHOD PATH [BODY]
 }
 
 GOT="$WORK/got.txt"
+# The recompute-cost ledger in /v1/stats reports real solver wall time,
+# nondeterministic run to run; scrub the values (not the keys) so the
+# golden still pins the field names and everything deterministic.
+scrub_costs() { sed -E 's/"cost_(added|evicted|removed|resident|saved)_nanos":[0-9]+/"cost_\1_nanos":X/g'; }
 {
   req schemes            GET  /v1/schemes
   req connect-labels     POST /v1/connect '{"scheme":"library","labels":["A","C"]}'
@@ -82,7 +86,7 @@ GOT="$WORK/got.txt"
   req batch              POST /v1/batch '{"scheme":"tiny","queries":[[0,1],[0,1],[99]]}'
   req interpretations    POST /v1/interpretations '{"scheme":"library","labels":["A","C"],"max_aux":2,"limit":3}'
   req stats              GET  /v1/stats
-} > "$GOT"
+} | scrub_costs > "$GOT"
 
 # /metrics smoke: histogram values vary run to run, so the scrape stays
 # out of the golden diff — instead assert every required family is
@@ -96,6 +100,8 @@ for series in \
   'chordal_solve_duration_seconds_count' \
   'chordal_cache_hits_total{scheme="library"}' \
   'chordal_cache_misses_total{scheme="library"}' \
+  'chordal_cache_cost_saved_seconds_total{scheme="library"}' \
+  'chordal_cache_cost_resident_seconds{scheme="library"}' \
   'chordal_scheme_epoch{scheme="tiny"}'
 do
   grep -qF "$series" "$METRICS" || { echo "/metrics missing series: $series" >&2; cat "$METRICS" >&2; exit 1; }
@@ -106,6 +112,9 @@ done
 # The per-shard decomposition exists (values depend on key hashing).
 grep -qF 'chordal_cache_shard_entries{scheme="library",shard="3"}' "$METRICS" \
   || { echo "/metrics missing per-shard series for the 4-shard cache" >&2; exit 1; }
+# Warm fills exist as a family (zero here: nothing booted from a warm snapshot).
+grep -qF 'chordal_cache_warm_fills_total{scheme="library"} 0' "$METRICS" \
+  || { echo "/metrics missing warm-fills series (want 0 on a cold boot)" >&2; exit 1; }
 grep -q 'chordal_http_inflight_limit 256' "$METRICS" \
   || { echo "/metrics inflight limit should be the serve default (256)" >&2; exit 1; }
 echo "metrics smoke OK ($(grep -c '^chordal_' "$METRICS") series)"

@@ -120,10 +120,32 @@ STATUS=$(curl -sS -o /dev/null -w '%{http_code}' -X DELETE "$SNAP/v1/schemes/cop
 STATUS=$(curl -sS -o /dev/null -w '%{http_code}' -X PUT --data-binary @"$WORK/corrupt.snap" "$SNAP/v1/schemes/bad")
 [ "$STATUS" = 422 ] || { echo "corrupt PUT returned $STATUS, want 422" >&2; exit 1; }
 
-# Graceful shutdown of both servers.
-for pid in "$LIVE_PID" "$SNAP_PID"; do
+# Warm boot: download the live server's cache as a warmup snapshot
+# (?warmup=1), boot a third server from it, and require the very first
+# query to be a cache hit — the restored entries answer without a solve.
+curl -sSf "$SNAP/v1/schemes/library/snapshot?warmup=1" -o "$WORK/library-warm.snap"
+cmp -s "$WORK/library.snap" "$WORK/library-warm.snap" && {
+  echo "?warmup=1 download is identical to the cold snapshot (no warmup section?)" >&2; exit 1;
+}
+boot "$WORK/warm.log" "library=$WORK/library-warm.snap"
+WARM_PID=$BOOT_PID
+WARM="http://$ADDR"
+trap 'kill "$LIVE_PID" "$SNAP_PID" "$WARM_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+WARM_STATS=$(curl -sS "$WARM/v1/stats")
+echo "$WARM_STATS" | grep -q '"misses":0' || { echo "warm boot already missed: $WARM_STATS" >&2; exit 1; }
+echo "$WARM_STATS" | grep -Eq '"warm_fills":[1-9]' || { echo "warm boot restored no entries: $WARM_STATS" >&2; exit 1; }
+
+WARM_ANSWER=$(curl -sS -d '{"scheme":"library","labels":["A","C"]}' "$WARM/v1/connect" | sed 's/"scheme":"library"//')
+[ "$WARM_ANSWER" = "$A" ] || { echo "warm-booted answer diverges from the saving server's" >&2; exit 1; }
+WARM_STATS=$(curl -sS "$WARM/v1/stats")
+echo "$WARM_STATS" | grep -q '"hits":1' || { echo "first warm-boot query was not a hit: $WARM_STATS" >&2; exit 1; }
+echo "$WARM_STATS" | grep -q '"misses":0' || { echo "first warm-boot query missed: $WARM_STATS" >&2; exit 1; }
+
+# Graceful shutdown of all servers.
+for pid in "$LIVE_PID" "$SNAP_PID" "$WARM_PID"; do
   kill -TERM "$pid"
   wait "$pid" || { echo "server $pid exited non-zero after SIGTERM" >&2; exit 1; }
 done
 
-echo "snapshot e2e OK (live vs snapshot answers identical; admin trio verified)"
+echo "snapshot e2e OK (live vs snapshot answers identical; admin trio verified; warm boot served its first query from the restored cache)"
